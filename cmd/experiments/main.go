@@ -1,0 +1,269 @@
+// Command experiments regenerates the paper's tables and figures on the
+// synthetic IBM01S-IBM05S circuits.
+//
+// Usage:
+//
+//	experiments -exp table1|fig1|fig2|table2|table3|table4|multiway|all
+//	            [-scale 0.25] [-trials 10] [-seed 1]
+//
+// CPU numbers are host wall-clock; the paper's were measured on 1990s Sun
+// hardware, so only relative comparisons are meaningful.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"os"
+
+	"repro/internal/benchgen"
+	"repro/internal/experiments"
+	"repro/internal/gen"
+	"repro/internal/place"
+	"repro/internal/rent"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment id: table1, fig1, fig2, table2, table3, table4, multiway, constraint, profile, starts or all")
+		scale  = flag.Float64("scale", 0.25, "scale factor for circuit sizes")
+		trials = flag.Int("trials", 10, "trials per data point (paper: 50)")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		csvOut = flag.String("csv", "", "also write fig1/fig2 sweep data as CSV to this file")
+	)
+	flag.Parse()
+	csvPath = *csvOut
+	if err := run(*exp, *scale, *trials, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, scale float64, trials int, seed uint64) error {
+	runners := map[string]func() error{
+		"table1":     func() error { return table1() },
+		"fig1":       func() error { return figure("IBM01S", scale, trials, seed) },
+		"fig2":       func() error { return figure("IBM03S", scale, trials, seed) },
+		"table2":     func() error { return table2(scale, trials, seed) },
+		"table3":     func() error { return table3(scale, trials, seed) },
+		"table4":     func() error { return table4(scale, seed) },
+		"multiway":   func() error { return multiway(scale, trials, seed) },
+		"constraint": func() error { return constraint(scale, trials, seed) },
+		"profile":    func() error { return profile(scale, trials, seed) },
+		"starts":     func() error { return starts(scale, trials, seed) },
+	}
+	if exp == "all" {
+		for _, id := range []string{"table1", "fig1", "fig2", "table2", "table3", "table4", "multiway", "constraint", "profile", "starts"} {
+			fmt.Printf("\n===== %s =====\n", id)
+			if err := runners[id](); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	r, ok := runners[exp]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return r()
+}
+
+func netlist(name string, scale float64) (*gen.Netlist, error) {
+	pr, err := gen.PresetByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return gen.Generate(pr.Params.Scaled(scale))
+}
+
+func table1() error {
+	return experiments.RenderTableI(os.Stdout, []float64{0.50, 0.60, 0.68, 0.75}, rent.DefaultPinsPerCell)
+}
+
+// csvPath, when set, receives the sweep data of figure runs as CSV.
+var csvPath string
+
+func figure(name string, scale float64, trials int, seed uint64) error {
+	nl, err := netlist(name, scale)
+	if err != nil {
+		return err
+	}
+	res, err := experiments.RunSweep(name, nl.H, experiments.SweepConfig{
+		Trials: trials,
+		Seed:   seed,
+	})
+	if err != nil {
+		return err
+	}
+	if err := experiments.RenderSweep(os.Stdout, res, []int{1, 2, 4, 8}); err != nil {
+		return err
+	}
+	if oc := experiments.Overconstrained(res, 1); len(oc) > 0 {
+		fmt.Printf("\nrelatively overconstrained fractions (good regime, 1 start): %v\n", oc)
+	}
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := experiments.SweepCSV(f, res); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", csvPath)
+	}
+	return nil
+}
+
+func table2(scale float64, trials int, seed uint64) error {
+	var rows []experiments.TableIIRow
+	for _, name := range []string{"IBM01S", "IBM02S", "IBM03S", "IBM04S", "IBM05S"} {
+		nl, err := netlist(name, scale)
+		if err != nil {
+			return err
+		}
+		r, err := experiments.TableII(name, nl.H, experiments.FlatConfig{
+			Fractions: []float64{0, 0.05, 0.10, 0.20, 0.30, 0.50},
+			Runs:      maxInt(trials, 10),
+			Seed:      seed,
+		})
+		if err != nil {
+			return err
+		}
+		rows = append(rows, r...)
+	}
+	return experiments.RenderTableII(os.Stdout, rows)
+}
+
+func table3(scale float64, trials int, seed uint64) error {
+	cutoffs := experiments.DefaultCutoffs()
+	var rows []experiments.TableIIIRow
+	for _, name := range []string{"IBM01S", "IBM02S", "IBM03S", "IBM04S", "IBM05S"} {
+		nl, err := netlist(name, scale)
+		if err != nil {
+			return err
+		}
+		r, err := experiments.TableIII(name, nl.H, cutoffs, experiments.FlatConfig{
+			Fractions: []float64{0, 0.10, 0.30, 0.50},
+			Runs:      maxInt(trials, 10),
+			Seed:      seed,
+		})
+		if err != nil {
+			return err
+		}
+		rows = append(rows, r...)
+	}
+	return experiments.RenderTableIII(os.Stdout, rows, cutoffs)
+}
+
+func table4(scale float64, seed uint64) error {
+	var instances []*benchgen.Instance
+	for _, pr := range gen.IBMPresets() {
+		nl, err := gen.Generate(pr.Params.Scaled(scale))
+		if err != nil {
+			return err
+		}
+		pl, err := placeNetlist(nl, seed)
+		if err != nil {
+			return err
+		}
+		for _, spec := range benchgen.StandardSpecs(pl, pr.Name) {
+			inst, err := benchgen.Derive(pl, spec, 0.02)
+			if err != nil {
+				return err
+			}
+			instances = append(instances, inst)
+		}
+	}
+	return experiments.RenderTableIV(os.Stdout, experiments.TableIV(instances))
+}
+
+func multiway(scale float64, trials int, seed uint64) error {
+	nl, err := netlist("IBM01S", scale)
+	if err != nil {
+		return err
+	}
+	rows, err := experiments.MultiwaySweep("IBM01S", nl.H, 4, experiments.SweepConfig{
+		Fractions: []float64{0, 0.05, 0.10, 0.20, 0.30, 0.50},
+		Trials:    trials,
+		Seed:      seed,
+	})
+	if err != nil {
+		return err
+	}
+	return experiments.RenderMultiway(os.Stdout, rows)
+}
+
+func constraint(scale float64, trials int, seed uint64) error {
+	nl, err := netlist("IBM01S", scale)
+	if err != nil {
+		return err
+	}
+	rows, err := experiments.ConstraintStudy("IBM01S", nl.H, experiments.SweepConfig{
+		Fractions: []float64{0, 0.05, 0.10, 0.20, 0.30, 0.50},
+		Trials:    trials,
+		Seed:      seed,
+	})
+	if err != nil {
+		return err
+	}
+	return experiments.RenderConstraintStudy(os.Stdout, rows)
+}
+
+func profile(scale float64, trials int, seed uint64) error {
+	nl, err := netlist("IBM01S", scale)
+	if err != nil {
+		return err
+	}
+	rows, err := experiments.PassProfile("IBM01S", nl.H, experiments.FlatConfig{
+		Fractions: []float64{0, 0.10, 0.30, 0.50},
+		Runs:      maxInt(trials, 10),
+		Seed:      seed,
+	})
+	if err != nil {
+		return err
+	}
+	return experiments.RenderPassProfile(os.Stdout, rows)
+}
+
+func starts(scale float64, trials int, seed uint64) error {
+	nl, err := netlist("IBM01S", scale)
+	if err != nil {
+		return err
+	}
+	rows, err := experiments.StartsRequired("IBM01S", nl.H, experiments.SweepConfig{
+		Fractions: []float64{0, 0.05, 0.10, 0.20, 0.30, 0.50},
+		Trials:    trials,
+		Seed:      seed,
+	})
+	if err != nil {
+		return err
+	}
+	return experiments.RenderStartsRequired(os.Stdout, rows)
+}
+
+func placeNetlist(nl *gen.Netlist, seed uint64) (*place.Placement, error) {
+	nv := nl.H.NumVertices()
+	fx := make([]float64, nv)
+	fy := make([]float64, nv)
+	for v := 0; v < nv; v++ {
+		if nl.H.IsPad(v) {
+			fx[v] = float64(nl.CellX[v])
+			fy[v] = float64(nl.CellY[v])
+		} else {
+			fx[v], fy[v] = math.NaN(), math.NaN()
+		}
+	}
+	return place.Place(nl.H, place.Config{
+		Width: float64(nl.GridSide), Height: float64(nl.GridSide),
+		FixedX: fx, FixedY: fy,
+	}, rand.New(rand.NewPCG(seed, 0x9ace)))
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

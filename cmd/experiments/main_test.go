@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunTable1(t *testing.T) {
+	if err := run("table1", 0.02, 1, 1); err != nil {
+		t.Fatalf("run(table1): %v", err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("bogus", 0.02, 1, 1); err == nil {
+		t.Error("want error for unknown experiment")
+	}
+}
+
+func TestRunMultiwayTiny(t *testing.T) {
+	if err := run("multiway", 0.02, 1, 1); err != nil {
+		t.Fatalf("run(multiway): %v", err)
+	}
+}
+
+func TestRunFigureWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	csvPath = filepath.Join(dir, "fig.csv")
+	defer func() { csvPath = "" }()
+	if err := run("fig1", 0.02, 1, 1); err != nil {
+		t.Fatalf("run(fig1): %v", err)
+	}
+	data, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatalf("csv not written: %v", err)
+	}
+	if !strings.Contains(string(data), "instance,regime") {
+		t.Errorf("csv content: %q", string(data)[:60])
+	}
+}

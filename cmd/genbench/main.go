@@ -1,0 +1,114 @@
+// Command genbench generates the synthetic IBM01S-IBM05S circuits, places
+// them top-down, derives the fixed-terminals benchmark suite of the paper's
+// Section IV, and writes everything as bookshelf bundles plus a Table IV
+// summary.
+//
+// Usage:
+//
+//	genbench -out bench [-preset IBM01S | -all] [-scale 0.25] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+
+	"repro/internal/benchgen"
+	"repro/internal/bookshelf"
+	"repro/internal/experiments"
+	"repro/internal/gen"
+	"repro/internal/place"
+)
+
+func main() {
+	var (
+		out    = flag.String("out", "bench", "output directory")
+		preset = flag.String("preset", "", "single preset to generate (e.g. IBM01S)")
+		all    = flag.Bool("all", false, "generate all IBM01S-IBM05S presets")
+		scale  = flag.Float64("scale", 1.0, "scale factor for cell/pad counts")
+		seed   = flag.Uint64("seed", 1, "random seed for placement")
+	)
+	flag.Parse()
+	var presets []gen.Preset
+	switch {
+	case *preset != "":
+		pr, err := gen.PresetByName(*preset)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "genbench:", err)
+			os.Exit(2)
+		}
+		presets = []gen.Preset{pr}
+	case *all:
+		presets = gen.IBMPresets()
+	default:
+		presets = gen.IBMPresets()[:1]
+	}
+	if err := run(*out, presets, *scale, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "genbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, presets []gen.Preset, scale float64, seed uint64) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	var instances []*benchgen.Instance
+	for _, pr := range presets {
+		params := pr.Params.Scaled(scale)
+		nl, err := gen.Generate(params)
+		if err != nil {
+			return fmt.Errorf("generating %s: %w", pr.Name, err)
+		}
+		fmt.Printf("%s: %v\n", pr.Name, nl.H)
+		pl, err := placeNetlist(nl, seed)
+		if err != nil {
+			return fmt.Errorf("placing %s: %w", pr.Name, err)
+		}
+		fmt.Printf("%s: placed, HPWL = %.0f\n", pr.Name, pl.HPWL())
+		for _, spec := range benchgen.StandardSpecs(pl, pr.Name) {
+			inst, err := benchgen.Derive(pl, spec, 0.02)
+			if err != nil {
+				return fmt.Errorf("deriving %s: %w", spec.Name, err)
+			}
+			instances = append(instances, inst)
+			if err := bookshelf.WriteProblem(out, inst.Name, inst.Problem); err != nil {
+				return fmt.Errorf("writing %s: %w", inst.Name, err)
+			}
+		}
+	}
+	if err := experiments.RenderTableIV(os.Stdout, experiments.TableIV(instances)); err != nil {
+		return err
+	}
+	summary, err := os.Create(filepath.Join(out, "TABLE_IV.txt"))
+	if err != nil {
+		return err
+	}
+	defer summary.Close()
+	fmt.Printf("wrote %d bundles to %s\n", len(instances), out)
+	return experiments.RenderTableIV(summary, experiments.TableIV(instances))
+}
+
+// placeNetlist runs the top-down placer with pads pinned to the generator's
+// periphery positions.
+func placeNetlist(nl *gen.Netlist, seed uint64) (*place.Placement, error) {
+	nv := nl.H.NumVertices()
+	side := float64(nl.GridSide)
+	fx := make([]float64, nv)
+	fy := make([]float64, nv)
+	for v := 0; v < nv; v++ {
+		if nl.H.IsPad(v) {
+			fx[v] = float64(nl.CellX[v])
+			fy[v] = float64(nl.CellY[v])
+		} else {
+			fx[v], fy[v] = math.NaN(), math.NaN()
+		}
+	}
+	return place.Place(nl.H, place.Config{
+		Width: side, Height: side,
+		FixedX: fx, FixedY: fy,
+	}, rand.New(rand.NewPCG(seed, 0x9ace)))
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bookshelf"
+	"repro/internal/gen"
+)
+
+func TestRunWritesSuite(t *testing.T) {
+	dir := t.TempDir()
+	presets := gen.IBMPresets()[:1]
+	if err := run(dir, presets, 0.02, 1); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// 8 specs x 4 files + TABLE_IV.txt.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 8*4+1 {
+		t.Errorf("wrote %d files, want %d", len(entries), 8*4+1)
+	}
+	// A derived half-chip bundle reads back with fixed terminals.
+	p, err := bookshelf.ReadProblem(dir, "IBM01SB_L1_V0_V")
+	if err != nil {
+		t.Fatalf("ReadProblem: %v", err)
+	}
+	if p.NumFixed() == 0 {
+		t.Error("derived instance has no fixed terminals")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "TABLE_IV.txt")); err != nil {
+		t.Errorf("TABLE_IV.txt missing: %v", err)
+	}
+}

@@ -1,0 +1,140 @@
+// Command hpart partitions a fixed-terminals benchmark bundle
+// (base.net/.are/.blk/.fix, as written by genbench or bookshelf.WriteProblem)
+// and reports the cut.
+//
+// Usage:
+//
+//	hpart -dir bench -base IBM01SA_L0_V [-engine ml|lifo|clip] [-starts 4]
+//	      [-cutoff 0.25] [-seed 1] [-out solution.sol]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"time"
+
+	"repro/internal/bookshelf"
+	"repro/internal/fm"
+	"repro/internal/multilevel"
+	"repro/internal/partition"
+)
+
+func main() {
+	var (
+		dir    = flag.String("dir", ".", "directory holding the benchmark bundle")
+		base   = flag.String("base", "", "bundle base name (required)")
+		engine = flag.String("engine", "ml", "partitioning engine: ml (multilevel CLIP), lifo or clip (flat FM)")
+		starts = flag.Int("starts", 1, "independent starts; the best result is kept")
+		cutoff = flag.Float64("cutoff", 1, "pass cutoff fraction after the first pass (1 = none)")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		out    = flag.String("out", "", "write the best assignment to this file")
+	)
+	flag.Parse()
+	if *base == "" {
+		fmt.Fprintln(os.Stderr, "hpart: -base is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*dir, *base, *engine, *starts, *cutoff, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "hpart:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dir, base, engine string, starts int, cutoff float64, seed uint64, out string) error {
+	p, err := bookshelf.ReadProblem(dir, base)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("instance %s: %v, k=%d, fixed=%d (%.1f%%)\n",
+		base, p.H, p.K, p.NumFixed(), 100*p.FixedFraction())
+	rng := rand.New(rand.NewPCG(seed, 0x42))
+	t0 := time.Now()
+	var best partition.Assignment
+	var cut int64
+	switch engine {
+	case "ml":
+		cfg := multilevel.Config{MaxPassFraction: passFraction(cutoff)}
+		if p.K == 2 {
+			res, err := multilevel.Multistart(p, cfg, starts, rng)
+			if err != nil {
+				return err
+			}
+			best, cut = res.Assignment, res.Cut
+			break
+		}
+		// k-way bundles: recursive bisection per start, then direct k-way
+		// FM refinement.
+		for s := 0; s < starts; s++ {
+			res, err := multilevel.RecursiveBisect(p, cfg, rng)
+			if err != nil {
+				return err
+			}
+			ref, err := fm.KWayPartition(p, res.Assignment, fm.Config{Policy: fm.CLIP, MaxPassFraction: passFraction(cutoff)})
+			if err != nil {
+				return err
+			}
+			if best == nil || ref.Cut < cut {
+				best, cut = ref.Assignment, ref.Cut
+			}
+		}
+	case "lifo", "clip":
+		policy := fm.LIFO
+		if engine == "clip" {
+			policy = fm.CLIP
+		}
+		cfg := fm.Config{Policy: policy, MaxPassFraction: passFraction(cutoff)}
+		for s := 0; s < starts; s++ {
+			var a partition.Assignment
+			var c int64
+			if p.K == 2 {
+				res, err := fm.RunFromRandom(p, cfg, rng)
+				if err != nil {
+					return err
+				}
+				a, c = res.Assignment, res.Cut
+			} else {
+				initial, err := partition.RandomFeasible(p, rng)
+				if err != nil {
+					return err
+				}
+				res, err := fm.KWayPartition(p, initial, cfg)
+				if err != nil {
+					return err
+				}
+				a, c = res.Assignment, res.Cut
+			}
+			if best == nil || c < cut {
+				best, cut = a, c
+			}
+		}
+	default:
+		return fmt.Errorf("unknown engine %q", engine)
+	}
+	fmt.Printf("best cut over %d start(s): %d   (%.1f ms)\n",
+		starts, cut, float64(time.Since(t0).Microseconds())/1000)
+	if err := p.Feasible(best); err != nil {
+		return fmt.Errorf("internal error: result infeasible: %w", err)
+	}
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := bookshelf.WriteSolution(f, p, best); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+	return nil
+}
+
+func passFraction(cutoff float64) float64 {
+	if cutoff >= 1 || cutoff <= 0 {
+		return 0
+	}
+	return cutoff
+}

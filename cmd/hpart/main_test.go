@@ -1,0 +1,124 @@
+package main
+
+import (
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bookshelf"
+	"repro/internal/gen"
+	"repro/internal/partition"
+)
+
+func writeBundle(t *testing.T, dir, base string) *partition.Problem {
+	t.Helper()
+	nl, err := gen.Generate(gen.Params{
+		Cells: 200, Pads: 8, RentExponent: 0.65, PinsPerCell: 3.6, AvgNetSize: 3.3, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := partition.NewBipartition(nl.H, 0.05)
+	rng := rand.New(rand.NewPCG(1, 1))
+	for v := 0; v < nl.H.NumVertices(); v++ {
+		if nl.H.IsPad(v) {
+			p.Fix(v, rng.IntN(2))
+		}
+	}
+	if err := bookshelf.WriteProblem(dir, base, p); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRunMultilevel(t *testing.T) {
+	dir := t.TempDir()
+	p := writeBundle(t, dir, "tiny")
+	out := filepath.Join(dir, "tiny.sol")
+	if err := run(dir, "tiny", "ml", 2, 1, 1, out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatalf("solution not written: %v", err)
+	}
+	defer f.Close()
+	a, err := bookshelf.ReadSolution(f, p)
+	if err != nil {
+		t.Fatalf("ReadSolution: %v", err)
+	}
+	if err := p.Feasible(a); err != nil {
+		t.Errorf("written solution infeasible: %v", err)
+	}
+}
+
+func TestRunFlatEngines(t *testing.T) {
+	dir := t.TempDir()
+	writeBundle(t, dir, "tiny")
+	for _, engine := range []string{"lifo", "clip"} {
+		if err := run(dir, "tiny", engine, 1, 0.25, 2, ""); err != nil {
+			t.Errorf("engine %s: %v", engine, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	writeBundle(t, dir, "tiny")
+	if err := run(dir, "tiny", "bogus", 1, 1, 1, ""); err == nil {
+		t.Error("want error for unknown engine")
+	}
+	if err := run(dir, "missing", "ml", 1, 1, 1, ""); err == nil {
+		t.Error("want error for missing bundle")
+	}
+}
+
+func TestPassFraction(t *testing.T) {
+	if passFraction(1) != 0 || passFraction(0) != 0 || passFraction(0.25) != 0.25 {
+		t.Error("passFraction mapping wrong")
+	}
+}
+
+func TestRunKWayBundle(t *testing.T) {
+	dir := t.TempDir()
+	nl, err := gen.Generate(gen.Params{
+		Cells: 200, Pads: 8, RentExponent: 0.65, PinsPerCell: 3.6, AvgNetSize: 3.3, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := partition.NewFree(nl.H, 4, 0.1)
+	rng := rand.New(rand.NewPCG(9, 9))
+	for v := 0; v < nl.H.NumVertices(); v++ {
+		if nl.H.IsPad(v) {
+			p.Fix(v, rng.IntN(4))
+		}
+	}
+	if err := bookshelf.WriteProblem(dir, "quad", p); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "quad.sol")
+	if err := run(dir, "quad", "ml", 2, 1, 1, out); err != nil {
+		t.Fatalf("run ml k=4: %v", err)
+	}
+	got, err := bookshelf.ReadProblem(dir, "quad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	a, err := bookshelf.ReadSolution(f, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Feasible(a); err != nil {
+		t.Fatalf("k-way solution infeasible: %v", err)
+	}
+	if err := run(dir, "quad", "lifo", 1, 1, 2, ""); err != nil {
+		t.Fatalf("run flat k=4: %v", err)
+	}
+}

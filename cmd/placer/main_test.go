@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bookshelf"
+)
+
+func TestRunWritesPlacement(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "p.pl")
+	if err := run("IBM01S", 0.02, 1, out, ""); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	lines := 0
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) != 4 {
+			t.Fatalf("malformed line %q", sc.Text())
+		}
+		lines++
+	}
+	if lines < 200 {
+		t.Errorf("placement file has %d lines", lines)
+	}
+}
+
+func TestRunUnknownPreset(t *testing.T) {
+	if err := run("NOPE", 0.1, 1, "", ""); err == nil {
+		t.Error("want error for unknown preset")
+	}
+}
+
+func TestRunWritesGSRC(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "ibm")
+	if err := run("IBM01S", 0.02, 1, "", base); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got, err := bookshelf.ReadGSRC(dir, "ibm")
+	if err != nil {
+		t.Fatalf("ReadGSRC: %v", err)
+	}
+	if got.H.NumVertices() < 200 {
+		t.Errorf("vertices = %d", got.H.NumVertices())
+	}
+	fixedPads := 0
+	for v := 0; v < got.H.NumVertices(); v++ {
+		if got.H.IsPad(v) && got.Fixed[v] {
+			fixedPads++
+		}
+	}
+	if fixedPads == 0 {
+		t.Error("no fixed pads in .pl")
+	}
+}

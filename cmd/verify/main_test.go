@@ -1,0 +1,87 @@
+package main
+
+import (
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bookshelf"
+	"repro/internal/gen"
+	"repro/internal/multilevel"
+	"repro/internal/partition"
+)
+
+func TestVerifyAcceptsValidSolution(t *testing.T) {
+	dir := t.TempDir()
+	nl, err := gen.Generate(gen.Params{
+		Cells: 150, Pads: 6, RentExponent: 0.65, PinsPerCell: 3.6, AvgNetSize: 3.3, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := partition.NewBipartition(nl.H, 0.05)
+	rng := rand.New(rand.NewPCG(1, 1))
+	for v := 0; v < nl.H.NumVertices(); v++ {
+		if nl.H.IsPad(v) {
+			p.Fix(v, rng.IntN(2))
+		}
+	}
+	if err := bookshelf.WriteProblem(dir, "t", p); err != nil {
+		t.Fatal(err)
+	}
+	res, err := multilevel.Partition(p, multilevel.Config{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol := filepath.Join(dir, "t.sol")
+	f, err := os.Create(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bookshelf.WriteSolution(f, p, res.Assignment); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := run(dir, "t", sol); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestVerifyRejectsBadSolutions(t *testing.T) {
+	dir := t.TempDir()
+	nl, err := gen.Generate(gen.Params{
+		Cells: 100, Pads: 4, RentExponent: 0.65, PinsPerCell: 3.6, AvgNetSize: 3.3, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := partition.NewBipartition(nl.H, 0.05)
+	p.Fix(0, 1)
+	if err := bookshelf.WriteProblem(dir, "t", p); err != nil {
+		t.Fatal(err)
+	}
+	write := func(name string, a partition.Assignment) string {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := bookshelf.WriteSolution(f, p, a); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	// Unbalanced: everything in part 0 — and it also violates the fixture.
+	bad := write("bad.sol", make(partition.Assignment, nl.H.NumVertices()))
+	if err := run(dir, "t", bad); err == nil {
+		t.Error("want error for infeasible solution")
+	}
+	if err := run(dir, "t", filepath.Join(dir, "missing.sol")); err == nil {
+		t.Error("want error for missing solution file")
+	}
+	if err := run(dir, "missing", bad); err == nil {
+		t.Error("want error for missing bundle")
+	}
+}

@@ -1,0 +1,71 @@
+// Passcutoff demonstrates the paper's Section III heuristic: hard cutoffs on
+// FM pass length are dangerous on free hypergraphs but safe — and much
+// faster — once enough terminals are fixed.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/fm"
+	"repro/internal/gen"
+	"repro/internal/multilevel"
+	"repro/internal/partition"
+)
+
+func main() {
+	pr, err := gen.PresetByName("IBM01S")
+	if err != nil {
+		log.Fatal(err)
+	}
+	nl, err := gen.Generate(pr.Params.Scaled(0.25))
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := nl.H
+	fmt.Printf("circuit: %v\n\n", h)
+
+	rng := rand.New(rand.NewPCG(3, 3))
+	base := partition.NewBipartition(h, 0.02)
+	best, err := multilevel.Multistart(base, multilevel.Config{}, 6, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sched, err := experiments.NewFixSchedule(h, 2, best.Assignment, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const runs = 12
+	for _, fixedFrac := range []float64{0, 0.30} {
+		prob := sched.Apply(base, fixedFrac, experiments.Good)
+		fmt.Printf("%.0f%% of vertices fixed (good regime):\n", 100*fixedFrac)
+		for _, cutoff := range []float64{1, 0.25, 0.05} {
+			cfg := fm.Config{Policy: fm.LIFO}
+			if cutoff < 1 {
+				cfg.MaxPassFraction = cutoff
+			}
+			var cut float64
+			t0 := time.Now()
+			for i := 0; i < runs; i++ {
+				res, err := fm.RunFromRandom(prob, cfg, rng)
+				if err != nil {
+					log.Fatal(err)
+				}
+				cut += float64(res.Cut)
+			}
+			elapsed := time.Since(t0) / runs
+			label := "no cutoff"
+			if cutoff < 1 {
+				label = fmt.Sprintf("%.0f%% cutoff", 100*cutoff)
+			}
+			fmt.Printf("  %-11s avg cut %7.1f   avg time %8v\n", label, cut/runs, elapsed.Round(10*time.Microsecond))
+		}
+		fmt.Println()
+	}
+	fmt.Println("expected shape: at 0% fixed the cutoff degrades quality; at 30% fixed")
+	fmt.Println("it is quality-neutral while cutting runtime (paper, Table III).")
+}

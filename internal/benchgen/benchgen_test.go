@@ -1,0 +1,363 @@
+package benchgen_test
+
+import (
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"repro/internal/benchgen"
+	"repro/internal/fm"
+	"repro/internal/gen"
+	"repro/internal/geometry"
+	"repro/internal/multilevel"
+	"repro/internal/partition"
+	"repro/internal/place"
+)
+
+func testPlacement(t *testing.T, cells int, seed uint64) *place.Placement {
+	t.Helper()
+	nl, err := gen.Generate(gen.Params{
+		Cells:        cells,
+		Pads:         20,
+		RentExponent: 0.65,
+		PinsPerCell:  3.6,
+		AvgNetSize:   3.3,
+		MaxAreaPct:   3,
+		Seed:         seed,
+	})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	nv := nl.H.NumVertices()
+	fx := make([]float64, nv)
+	fy := make([]float64, nv)
+	for v := 0; v < nv; v++ {
+		if nl.H.IsPad(v) {
+			fx[v] = float64(nl.CellX[v]) / float64(nl.GridSide) * 100
+			fy[v] = float64(nl.CellY[v]) / float64(nl.GridSide) * 100
+		} else {
+			fx[v], fy[v] = math.NaN(), math.NaN()
+		}
+	}
+	pl, err := place.Place(nl.H, place.Config{Width: 100, Height: 100, FixedX: fx, FixedY: fy},
+		rand.New(rand.NewPCG(seed, 77)))
+	if err != nil {
+		t.Fatalf("Place: %v", err)
+	}
+	return pl
+}
+
+func TestStandardSpecs(t *testing.T) {
+	pl := testPlacement(t, 300, 1)
+	specs := benchgen.StandardSpecs(pl, "T01S")
+	if len(specs) != 8 {
+		t.Fatalf("specs = %d, want 8", len(specs))
+	}
+	var v, h int
+	for _, s := range specs {
+		if !strings.HasPrefix(s.Name, "T01S") {
+			t.Errorf("name %q missing base", s.Name)
+		}
+		if strings.HasSuffix(s.Name, "_V") {
+			v++
+		}
+		if strings.HasSuffix(s.Name, "_H") {
+			h++
+		}
+	}
+	if v != 4 || h != 4 {
+		t.Errorf("cut direction split %d/%d, want 4/4", v, h)
+	}
+}
+
+func TestDeriveWholeChip(t *testing.T) {
+	pl := testPlacement(t, 300, 2)
+	specs := benchgen.StandardSpecs(pl, "T")
+	inst, err := benchgen.Derive(pl, specs[0], 0.02) // block A, vertical cut
+	if err != nil {
+		t.Fatalf("Derive: %v", err)
+	}
+	h := inst.Problem.H
+	if err := h.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if err := inst.Problem.Validate(); err != nil {
+		t.Fatalf("problem invalid: %v", err)
+	}
+	// Whole chip: every non-pad vertex is movable; terminals come from pads.
+	wantCells := 0
+	for v := 0; v < pl.H.NumVertices(); v++ {
+		if !pl.H.IsPad(v) {
+			wantCells++
+		}
+	}
+	if inst.Stats.Cells != wantCells {
+		t.Errorf("cells = %d, want %d", inst.Stats.Cells, wantCells)
+	}
+	if inst.Stats.Pads == 0 || inst.Stats.Pads > pl.H.NumPads() {
+		t.Errorf("pads = %d, want in (0,%d]", inst.Stats.Pads, pl.H.NumPads())
+	}
+	if inst.Stats.Cells+inst.Stats.Pads != h.NumVertices() {
+		t.Errorf("cells+pads = %d, vertices = %d", inst.Stats.Cells+inst.Stats.Pads, h.NumVertices())
+	}
+	if inst.Stats.ExternalNets == 0 {
+		t.Error("expected external nets from pads")
+	}
+	// Terminals: zero area, fixed to a single part.
+	for v := inst.Stats.Cells; v < h.NumVertices(); v++ {
+		if h.Weight(v) != 0 {
+			t.Errorf("terminal %d has area %d", v, h.Weight(v))
+		}
+		if _, ok := inst.Problem.FixedPart(v); !ok {
+			t.Errorf("terminal %d not fixed", v)
+		}
+	}
+	if inst.Problem.NumFixed() != inst.Stats.Pads {
+		t.Errorf("NumFixed = %d, pads = %d", inst.Problem.NumFixed(), inst.Stats.Pads)
+	}
+}
+
+func TestDeriveHalfBlockHasPropagatedTerminals(t *testing.T) {
+	pl := testPlacement(t, 400, 3)
+	specs := benchgen.StandardSpecs(pl, "T")
+	// Block B = left half.
+	var inst *benchgen.Instance
+	for _, s := range specs {
+		if strings.Contains(s.Name, "B_L1_V0") && s.Cut == benchgen.Vertical {
+			got, err := benchgen.Derive(pl, s, 0.02)
+			if err != nil {
+				t.Fatalf("Derive: %v", err)
+			}
+			inst = got
+		}
+	}
+	if inst == nil {
+		t.Fatal("block B spec not found")
+	}
+	// The half block must have substantially more terminals than the chip
+	// has pads: cut nets of the placement propagate in.
+	if inst.Stats.Pads <= 3 {
+		t.Errorf("half block has %d terminals; expected propagated terminals from the other half", inst.Stats.Pads)
+	}
+	if f := inst.Problem.FixedFraction(); f <= 0 || f >= 1 {
+		t.Errorf("fixed fraction = %v", f)
+	}
+	t.Logf("half-block instance: %+v (fixed fraction %.1f%%)", inst.Stats, 100*inst.Problem.FixedFraction())
+}
+
+func TestDeriveTerminalSides(t *testing.T) {
+	pl := testPlacement(t, 300, 4)
+	spec := benchgen.Spec{
+		Name:  "half",
+		Block: benchgen.Rect{X0: 0, Y0: 0, X1: 50, Y1: 100.01},
+		Cut:   benchgen.Vertical, // cutline at x=25
+	}
+	inst, err := benchgen.Derive(pl, spec, 0.02)
+	if err != nil {
+		t.Fatalf("Derive: %v", err)
+	}
+	for i := inst.Stats.Cells; i < inst.Problem.H.NumVertices(); i++ {
+		orig := int(inst.CellOf[i])
+		part, ok := inst.Problem.FixedPart(i)
+		if !ok {
+			t.Fatalf("terminal %d not fixed", i)
+		}
+		x := pl.X[orig]
+		if x < 0 {
+			x = 0
+		}
+		if x > 50 {
+			x = 50
+		}
+		want := 0
+		if x >= 25 {
+			want = 1
+		}
+		if part != want {
+			t.Errorf("terminal for vertex %d at x=%.1f fixed in part %d, want %d", orig, pl.X[orig], part, want)
+		}
+	}
+}
+
+func TestDeriveErrors(t *testing.T) {
+	pl := testPlacement(t, 300, 5)
+	empty := benchgen.Spec{Name: "empty", Block: benchgen.Rect{X0: -10, Y0: -10, X1: -5, Y1: -5}}
+	if _, err := benchgen.Derive(pl, empty, 0.02); err == nil {
+		t.Error("want error for empty block")
+	}
+}
+
+func TestDerivedInstanceIsPartitionable(t *testing.T) {
+	pl := testPlacement(t, 400, 6)
+	specs := benchgen.StandardSpecs(pl, "T")
+	inst, err := benchgen.Derive(pl, specs[2], 0.02) // block B vertical
+	if err != nil {
+		t.Fatalf("Derive: %v", err)
+	}
+	res, err := multilevel.Partition(inst.Problem, multilevel.Config{}, rand.New(rand.NewPCG(6, 6)))
+	if err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+	if err := inst.Problem.Feasible(res.Assignment); err != nil {
+		t.Fatalf("infeasible: %v", err)
+	}
+	if res.Cut < 0 {
+		t.Errorf("cut = %d", res.Cut)
+	}
+}
+
+func TestCutDirString(t *testing.T) {
+	if benchgen.Vertical.String() != "V" || benchgen.Horizontal.String() != "H" {
+		t.Error("CutDir strings wrong")
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := benchgen.Rect{X0: 0, Y0: 0, X1: 10, Y1: 10}
+	if !r.Contains(0, 0) || r.Contains(10, 5) || r.Contains(5, -1) {
+		t.Error("Contains boundary semantics wrong (half-open)")
+	}
+}
+
+func TestDeriveQuad(t *testing.T) {
+	pl := testPlacement(t, 500, 8)
+	block := benchgen.Rect{X0: 0, Y0: 0, X1: 50, Y1: 100.01} // left half
+	// External cells float in the sibling (right) half of the chip.
+	sibling := []geometry.Rect{{X0: 50, Y0: 0, X1: 100.01, Y1: 100.01}}
+	inst, err := benchgen.DeriveQuad(pl, "quadB", block, sibling, 0.05)
+	if err != nil {
+		t.Fatalf("DeriveQuad: %v", err)
+	}
+	if inst.Problem.K != 4 {
+		t.Fatalf("K = %d", inst.Problem.K)
+	}
+	if err := inst.Problem.Validate(); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	h := inst.Problem.H
+	orSeen := false
+	for v := inst.Stats.Cells; v < h.NumVertices(); v++ {
+		mask := inst.Problem.MaskOf(v)
+		n := mask.Count()
+		if n < 1 || n > 4 {
+			t.Fatalf("terminal %d mask %b", v, mask)
+		}
+		if n >= 2 && n < 4 {
+			orSeen = true
+		}
+		if h.Weight(v) != 0 {
+			t.Errorf("terminal %d has area", v)
+		}
+	}
+	if !orSeen {
+		t.Error("expected at least one OR-region terminal (multi-quadrant mask)")
+	}
+	// The instance is solvable 4-way.
+	rng := rand.New(rand.NewPCG(8, 8))
+	initial, err := partition.RandomFeasible(inst.Problem, rng)
+	if err != nil {
+		t.Fatalf("RandomFeasible: %v", err)
+	}
+	res, err := fm.KWayPartition(inst.Problem, initial, fm.Config{Policy: fm.CLIP})
+	if err != nil {
+		t.Fatalf("KWayPartition: %v", err)
+	}
+	if err := inst.Problem.Feasible(res.Assignment); err != nil {
+		t.Fatalf("infeasible: %v", err)
+	}
+	t.Logf("quad instance: %+v, kway cut=%d", inst.Stats, res.Cut)
+}
+
+func TestDeriveQuadErrors(t *testing.T) {
+	pl := testPlacement(t, 300, 9)
+	empty := benchgen.Rect{X0: -5, Y0: -5, X1: -1, Y1: -1}
+	if _, err := benchgen.DeriveQuad(pl, "e", empty, nil, 0.05); err == nil {
+		t.Error("want error for empty block")
+	}
+}
+
+func TestSpecsAtLevel(t *testing.T) {
+	pl := testPlacement(t, 300, 10)
+	l0 := benchgen.SpecsAtLevel(pl, "X", 0)
+	if len(l0) != 2 {
+		t.Fatalf("level 0 specs = %d", len(l0))
+	}
+	l2 := benchgen.SpecsAtLevel(pl, "X", 2)
+	if len(l2) != 8 {
+		t.Fatalf("level 2 specs = %d, want 4 blocks x 2 cuts", len(l2))
+	}
+	names := map[string]bool{}
+	totalCells := 0
+	for _, s := range l2 {
+		if names[s.Name] {
+			t.Errorf("duplicate name %q", s.Name)
+		}
+		names[s.Name] = true
+		if s.Cut == benchgen.Vertical {
+			inst, err := benchgen.Derive(pl, s, 0.1)
+			if err != nil {
+				t.Fatalf("Derive %s: %v", s.Name, err)
+			}
+			totalCells += inst.Stats.Cells
+		}
+	}
+	// The four level-2 blocks tile the chip: movable cells sum to all cells.
+	wantCells := 0
+	for v := 0; v < pl.H.NumVertices(); v++ {
+		if !pl.H.IsPad(v) {
+			wantCells++
+		}
+	}
+	if totalCells != wantCells {
+		t.Errorf("level-2 blocks cover %d cells, want %d", totalCells, wantCells)
+	}
+}
+
+func TestWirelengthWeights(t *testing.T) {
+	pl := testPlacement(t, 400, 11)
+	base := benchgen.Spec{
+		Name:  "plain",
+		Block: benchgen.Rect{X0: 0, Y0: 0, X1: 100.01, Y1: 100.01},
+		Cut:   benchgen.Vertical,
+	}
+	weighted := base
+	weighted.Name = "weighted"
+	weighted.WirelengthWeights = true
+
+	plain, err := benchgen.Derive(pl, base, 0.02)
+	if err != nil {
+		t.Fatalf("Derive plain: %v", err)
+	}
+	wl, err := benchgen.Derive(pl, weighted, 0.02)
+	if err != nil {
+		t.Fatalf("Derive weighted: %v", err)
+	}
+	if plain.Stats.Nets != wl.Stats.Nets {
+		t.Fatalf("net counts differ: %d vs %d", plain.Stats.Nets, wl.Stats.Nets)
+	}
+	varied := false
+	for e := 0; e < wl.Problem.H.NumNets(); e++ {
+		w := wl.Problem.H.NetWeight(e)
+		if w < 1 || w > 16 {
+			t.Fatalf("net %d weight %d outside [1,16]", e, w)
+		}
+		if w != 1 {
+			varied = true
+		}
+		if plain.Problem.H.NetWeight(e) != 1 {
+			t.Fatalf("plain instance has weighted net %d", e)
+		}
+	}
+	if !varied {
+		t.Error("wirelength weighting produced all-unit weights")
+	}
+	// The weighted instance is partitionable and its cut reflects weights.
+	res, err := multilevel.Partition(wl.Problem, multilevel.Config{}, rand.New(rand.NewPCG(11, 11)))
+	if err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+	if res.Cut != partition.Cut(wl.Problem.H, res.Assignment) {
+		t.Error("cut mismatch on weighted instance")
+	}
+}

@@ -1,0 +1,128 @@
+package bookshelf_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bookshelf"
+)
+
+func TestGSRCRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	h := sample(t)
+	x := []float64{0, 1, 2, 3, 0.5, 9.5}
+	y := []float64{0, 1, 2, 3, 0, 10}
+	fixed := []bool{false, false, false, false, true, true}
+	if err := bookshelf.WriteGSRC(dir, "g", h, x, y, fixed); err != nil {
+		t.Fatalf("WriteGSRC: %v", err)
+	}
+	got, err := bookshelf.ReadGSRC(dir, "g")
+	if err != nil {
+		t.Fatalf("ReadGSRC: %v", err)
+	}
+	if !sameHypergraph(h, got.H) {
+		t.Error("round trip changed the hypergraph")
+	}
+	for v := 0; v < h.NumVertices(); v++ {
+		if got.X[v] != x[v] || got.Y[v] != y[v] {
+			t.Errorf("vertex %d moved: (%g,%g) -> (%g,%g)", v, x[v], y[v], got.X[v], got.Y[v])
+		}
+		if got.Fixed[v] != fixed[v] {
+			t.Errorf("vertex %d fixed flag = %v", v, got.Fixed[v])
+		}
+	}
+}
+
+func TestGSRCFileShapes(t *testing.T) {
+	dir := t.TempDir()
+	h := sample(t)
+	coords := make([]float64, h.NumVertices())
+	if err := bookshelf.WriteGSRC(dir, "g", h, coords, coords, nil); err != nil {
+		t.Fatalf("WriteGSRC: %v", err)
+	}
+	nodes, err := os.ReadFile(filepath.Join(dir, "g.nodes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(nodes)
+	if !strings.HasPrefix(text, "UCLA nodes 1.0") {
+		t.Errorf("missing banner: %q", text[:30])
+	}
+	if !strings.Contains(text, "NumTerminals : 2") {
+		t.Errorf("terminal count missing:\n%s", text)
+	}
+	if !strings.Contains(text, "terminal") {
+		t.Error("terminal marker missing")
+	}
+	nets, err := os.ReadFile(filepath.Join(dir, "g.nets"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(nets), "NetDegree : 3 n0") {
+		t.Errorf(".nets shape wrong:\n%s", nets)
+	}
+}
+
+func TestWriteGSRCErrors(t *testing.T) {
+	dir := t.TempDir()
+	h := sample(t)
+	if err := bookshelf.WriteGSRC(dir, "g", h, []float64{1}, []float64{1}, nil); err == nil {
+		t.Error("want error for short coordinates")
+	}
+}
+
+func TestReadGSRCErrors(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nodesOK := "UCLA nodes 1.0\nNumNodes : 2\nNumTerminals : 0\na0 1 1\na1 1 1\n"
+	netsOK := "UCLA nets 1.0\nNumNets : 1\nNumPins : 2\nNetDegree : 2 n0\na0 B\na1 B\n"
+	plOK := "UCLA pl 1.0\na0 0 0 : N\na1 1 1 : N\n"
+
+	cases := []struct{ name, nodes, nets, pl string }{
+		{"bad banner", "WRONG\n", netsOK, plOK},
+		{"node count mismatch", "UCLA nodes 1.0\nNumNodes : 5\na0 1 1\na1 1 1\n", netsOK, plOK},
+		{"duplicate node", "UCLA nodes 1.0\na0 1 1\na0 1 1\n", netsOK, plOK},
+		{"unknown pin", nodesOK, "UCLA nets 1.0\nNetDegree : 2 n0\nzz B\na1 B\n", plOK},
+		{"short net", nodesOK, "UCLA nets 1.0\nNetDegree : 3 n0\na0 B\na1 B\n", plOK},
+		{"pin count mismatch", nodesOK, "UCLA nets 1.0\nNumPins : 9\nNetDegree : 2 n0\na0 B\na1 B\n", plOK},
+		{"pl missing node", nodesOK, netsOK, "UCLA pl 1.0\na0 0 0 : N\n"},
+		{"pl unknown node", nodesOK, netsOK, "UCLA pl 1.0\na0 0 0 : N\nzz 1 1 : N\n"},
+		{"pl bad coords", nodesOK, netsOK, "UCLA pl 1.0\na0 x y : N\na1 1 1 : N\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			write("e.nodes", c.nodes)
+			write("e.nets", c.nets)
+			write("e.pl", c.pl)
+			if _, err := bookshelf.ReadGSRC(dir, "e"); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestReadGSRCTerminalAreas(t *testing.T) {
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "t.nodes"), []byte(
+		"UCLA nodes 1.0\nNumNodes : 3\nNumTerminals : 1\na0 4 2\na1 3 1\np1 0 0 terminal\n"), 0o644)
+	os.WriteFile(filepath.Join(dir, "t.nets"), []byte(
+		"UCLA nets 1.0\nNetDegree : 3 n0\na0 B\na1 B\np1 B\n"), 0o644)
+	os.WriteFile(filepath.Join(dir, "t.pl"), []byte(
+		"UCLA pl 1.0\na0 0 0 : N\na1 5 5 : N\np1 9 9 : N /FIXED\n"), 0o644)
+	got, err := bookshelf.ReadGSRC(dir, "t")
+	if err != nil {
+		t.Fatalf("ReadGSRC: %v", err)
+	}
+	if got.H.Weight(0) != 8 || got.H.Weight(1) != 3 {
+		t.Errorf("areas = %d,%d, want width*height", got.H.Weight(0), got.H.Weight(1))
+	}
+	if !got.H.IsPad(2) || !got.Fixed[2] {
+		t.Error("terminal flags lost")
+	}
+}

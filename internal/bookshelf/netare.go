@@ -1,0 +1,263 @@
+// Package bookshelf reads and writes partitioning benchmark files: the
+// classic .net/.are pair of the ACM/SIGDA and ISPD-98 suites, and the
+// fixed-terminals extensions the paper proposes for the GSRC bookshelf —
+// a .blk partition/capacity file with absolute or relative balance
+// semantics, a .fix fixed/region file with OR-assignment of terminals to
+// several partitions, a multi-area .are with one area per resource repeated
+// on the same line, and a .sol solution file.
+//
+// All formats are line based; '#' starts a comment, blank lines are ignored.
+package bookshelf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/hypergraph"
+)
+
+// WriteNetAre writes h in the classic two-file form: the netlist to netW
+// (module-per-line, 's' marking the first pin of each net) and per-module
+// areas to areW. Multi-resource hypergraphs emit all areas on the module's
+// line, the paper's proposed multi-area extension; single-resource files are
+// byte-compatible with the classic format.
+//
+// Modules are named a0..a<n-1> in vertex order for cells and p1..p<m> for
+// pads; the header's pad offset is the number of non-pad modules. To keep
+// the naming scheme invertible, pad vertices must follow all cell vertices.
+func WriteNetAre(netW, areW io.Writer, h *hypergraph.Hypergraph) error {
+	names, padOffset, err := moduleNames(h)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(netW)
+	fmt.Fprintln(bw, 0)
+	fmt.Fprintln(bw, h.NumPins())
+	fmt.Fprintln(bw, h.NumNets())
+	fmt.Fprintln(bw, h.NumVertices())
+	fmt.Fprintln(bw, padOffset)
+	for e := 0; e < h.NumNets(); e++ {
+		for i, v := range h.Pins(e) {
+			tag := "l"
+			if i == 0 {
+				tag = "s"
+			}
+			fmt.Fprintf(bw, "%s %s\n", names[v], tag)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	aw := bufio.NewWriter(areW)
+	for v := 0; v < h.NumVertices(); v++ {
+		fmt.Fprintf(aw, "%s", names[v])
+		for r := 0; r < h.NumResources(); r++ {
+			fmt.Fprintf(aw, " %d", h.WeightIn(v, r))
+		}
+		fmt.Fprintln(aw)
+	}
+	return aw.Flush()
+}
+
+// moduleNames assigns canonical module names and checks pad ordering.
+func moduleNames(h *hypergraph.Hypergraph) ([]string, int, error) {
+	names := make([]string, h.NumVertices())
+	padOffset := h.NumVertices() - h.NumPads()
+	for v := 0; v < h.NumVertices(); v++ {
+		if h.IsPad(v) {
+			if v < padOffset {
+				return nil, 0, fmt.Errorf("bookshelf: pad vertex %d precedes cell vertices; reorder before writing", v)
+			}
+			names[v] = fmt.Sprintf("p%d", v-padOffset+1)
+		} else {
+			if v >= padOffset {
+				return nil, 0, fmt.Errorf("bookshelf: cell vertex %d follows pad vertices; reorder before writing", v)
+			}
+			names[v] = fmt.Sprintf("a%d", v)
+		}
+	}
+	return names, padOffset, nil
+}
+
+// ReadNetAre parses the two-file form back into a hypergraph. It accepts
+// single- or multi-area .are files (the resource count is inferred from the
+// first area line) and returns vertices in module order: cells a0.. then
+// pads p1.. .
+func ReadNetAre(netR, areR io.Reader) (*hypergraph.Hypergraph, error) {
+	sc := newScanner(netR)
+	var header [5]int
+	for i := range header {
+		line, ok := sc.next()
+		if !ok {
+			return nil, sc.errf("unexpected end of .net header")
+		}
+		n, err := strconv.Atoi(strings.Fields(line)[0])
+		if err != nil {
+			return nil, sc.errf("bad header value %q: %v", line, err)
+		}
+		header[i] = n
+	}
+	numPins, numNets, numModules, padOffset := header[1], header[2], header[3], header[4]
+	if padOffset < 0 || padOffset > numModules {
+		return nil, sc.errf("pad offset %d outside [0,%d]", padOffset, numModules)
+	}
+
+	// Areas first, so we know the resource count before adding vertices.
+	areas, numResources, err := readAreas(areR)
+	if err != nil {
+		return nil, err
+	}
+
+	b := hypergraph.NewBuilder(numResources)
+	index := make(map[string]int, numModules)
+	for v := 0; v < numModules; v++ {
+		var name string
+		if v < padOffset {
+			name = fmt.Sprintf("a%d", v)
+		} else {
+			name = fmt.Sprintf("p%d", v-padOffset+1)
+		}
+		ws, haveArea := areas[name]
+		if !haveArea && v < padOffset {
+			return nil, fmt.Errorf("bookshelf: .are missing area for module %s", name)
+		}
+		id := b.AddCell(name, ws...) // pads may omit areas (zero)
+		if v >= padOffset {
+			b.SetPad(id, true)
+		}
+		index[name] = id
+	}
+
+	var current []int
+	flush := func() {
+		if len(current) > 0 {
+			b.AddNet(current...)
+			current = nil
+		}
+	}
+	pins := 0
+	for {
+		line, ok := sc.next()
+		if !ok {
+			break
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, sc.errf("malformed pin line %q", line)
+		}
+		// .netD files append a pin direction (I/O/B) after the tag; it does
+		// not affect partitioning and is accepted and ignored.
+		if len(fields) == 3 {
+			switch fields[2] {
+			case "I", "O", "B":
+			default:
+				return nil, sc.errf("unknown pin direction %q", fields[2])
+			}
+		} else if len(fields) > 3 {
+			return nil, sc.errf("malformed pin line %q", line)
+		}
+		v, ok := index[fields[0]]
+		if !ok {
+			return nil, sc.errf("pin references unknown module %q", fields[0])
+		}
+		switch fields[1] {
+		case "s":
+			flush()
+			current = []int{v}
+		case "l":
+			if current == nil {
+				return nil, sc.errf("continuation pin before any net start")
+			}
+			current = append(current, v)
+		default:
+			return nil, sc.errf("unknown pin tag %q", fields[1])
+		}
+		pins++
+	}
+	flush()
+	if pins != numPins {
+		return nil, fmt.Errorf("bookshelf: .net declares %d pins, found %d", numPins, pins)
+	}
+	h, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("bookshelf: %w", err)
+	}
+	if h.NumNets() != numNets {
+		return nil, fmt.Errorf("bookshelf: .net declares %d nets, found %d", numNets, h.NumNets())
+	}
+	return h, nil
+}
+
+// readAreas parses an .are file into name -> areas. All lines must list the
+// same number of areas (one per resource).
+func readAreas(r io.Reader) (map[string][]int64, int, error) {
+	sc := newScanner(r)
+	areas := map[string][]int64{}
+	numResources := 0
+	for {
+		line, ok := sc.next()
+		if !ok {
+			break
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, 0, sc.errf("malformed area line %q", line)
+		}
+		ws := make([]int64, 0, len(fields)-1)
+		for _, f := range fields[1:] {
+			w, err := strconv.ParseInt(f, 10, 64)
+			if err != nil {
+				return nil, 0, sc.errf("bad area %q: %v", f, err)
+			}
+			ws = append(ws, w)
+		}
+		if numResources == 0 {
+			numResources = len(ws)
+		} else if len(ws) != numResources {
+			return nil, 0, sc.errf("module %s has %d areas, expected %d", fields[0], len(ws), numResources)
+		}
+		if _, dup := areas[fields[0]]; dup {
+			return nil, 0, sc.errf("duplicate area line for module %s", fields[0])
+		}
+		areas[fields[0]] = ws
+	}
+	if numResources == 0 {
+		numResources = 1
+	}
+	return areas, numResources, nil
+}
+
+// scanner is a line scanner with comment stripping and line tracking.
+type scanner struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+func newScanner(r io.Reader) *scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	return &scanner{sc: sc}
+}
+
+// next returns the next non-blank, comment-stripped line.
+func (s *scanner) next() (string, bool) {
+	for s.sc.Scan() {
+		s.line++
+		line := s.sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line != "" {
+			return line, true
+		}
+	}
+	return "", false
+}
+
+func (s *scanner) errf(format string, args ...any) error {
+	return fmt.Errorf("bookshelf: line %d: %s", s.line, fmt.Sprintf(format, args...))
+}

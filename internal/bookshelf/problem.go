@@ -1,0 +1,310 @@
+package bookshelf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/partition"
+)
+
+// WriteBlk writes the partition/capacity file: the number of parts and
+// resources, then one line per part with explicit min/max bounds per
+// resource. Absolute capacities and relative tolerances both reduce to these
+// bounds; a `uniform` shorthand line is accepted on read for the common
+// evenly-balanced case.
+//
+//	parts 2
+//	resources 1
+//	0 4900 5100
+//	1 4900 5100
+func WriteBlk(w io.Writer, b partition.Balance) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "parts %d\n", b.NumParts())
+	fmt.Fprintf(bw, "resources %d\n", b.NumResources())
+	for p := 0; p < b.NumParts(); p++ {
+		fmt.Fprintf(bw, "%d", p)
+		for r := 0; r < b.NumResources(); r++ {
+			fmt.Fprintf(bw, " %d %d", b.Min[p][r], b.Max[p][r])
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// ReadBlk parses a .blk file.
+func ReadBlk(r io.Reader) (partition.Balance, int, error) {
+	sc := newScanner(r)
+	var bal partition.Balance
+	parts, resources := 0, 0
+	readHeader := func(key string) (int, error) {
+		line, ok := sc.next()
+		if !ok {
+			return 0, sc.errf("missing %q header", key)
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 || fields[0] != key {
+			return 0, sc.errf("expected %q header, got %q", key, line)
+		}
+		return strconv.Atoi(fields[1])
+	}
+	var err error
+	if parts, err = readHeader("parts"); err != nil {
+		return bal, 0, err
+	}
+	if resources, err = readHeader("resources"); err != nil {
+		return bal, 0, err
+	}
+	if parts < 2 || parts > partition.MaxParts || resources < 1 {
+		return bal, 0, sc.errf("invalid dimensions parts=%d resources=%d", parts, resources)
+	}
+	bal.Min = make([][]int64, parts)
+	bal.Max = make([][]int64, parts)
+	for p := range bal.Min {
+		bal.Min[p] = make([]int64, resources)
+		bal.Max[p] = make([]int64, resources)
+	}
+	seen := make([]bool, parts)
+	for i := 0; i < parts; i++ {
+		line, ok := sc.next()
+		if !ok {
+			return bal, 0, sc.errf("missing bounds for %d parts", parts-i)
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 1+2*resources {
+			return bal, 0, sc.errf("part line %q needs %d fields", line, 1+2*resources)
+		}
+		p, err := strconv.Atoi(fields[0])
+		if err != nil || p < 0 || p >= parts {
+			return bal, 0, sc.errf("bad part index %q", fields[0])
+		}
+		if seen[p] {
+			return bal, 0, sc.errf("duplicate part %d", p)
+		}
+		seen[p] = true
+		for r := 0; r < resources; r++ {
+			mn, err1 := strconv.ParseInt(fields[1+2*r], 10, 64)
+			mx, err2 := strconv.ParseInt(fields[2+2*r], 10, 64)
+			if err1 != nil || err2 != nil {
+				return bal, 0, sc.errf("bad bounds on line %q", line)
+			}
+			bal.Min[p][r], bal.Max[p][r] = mn, mx
+		}
+	}
+	return bal, parts, nil
+}
+
+// WriteFix writes the fixed/region file: one line per constrained vertex
+// with its module name followed by the allowed partitions. A single
+// partition fixes the terminal; several express the paper's OR-region
+// semantics (the partitioner may pick any listed part). Free vertices are
+// omitted.
+//
+//	p1 0
+//	p7 0 1   # propagated terminal allowed in either left-side quadrant
+func WriteFix(w io.Writer, p *partition.Problem) error {
+	names, _, err := moduleNames(p.H)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	for v := 0; v < p.H.NumVertices(); v++ {
+		if p.IsFree(v) {
+			continue
+		}
+		fmt.Fprintf(bw, "%s", names[v])
+		for _, part := range p.MaskOf(v).Parts(p.K) {
+			fmt.Fprintf(bw, " %d", part)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// ReadFix parses a .fix file into per-vertex masks for a k-way problem over
+// h's module names. Vertices not mentioned stay free.
+func ReadFix(r io.Reader, names map[string]int, numVerts, k int) ([]partition.Mask, error) {
+	sc := newScanner(r)
+	masks := make([]partition.Mask, numVerts)
+	all := partition.AllParts(k)
+	for i := range masks {
+		masks[i] = all
+	}
+	for {
+		line, ok := sc.next()
+		if !ok {
+			break
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, sc.errf("malformed fix line %q", line)
+		}
+		v, ok := names[fields[0]]
+		if !ok {
+			return nil, sc.errf("fix references unknown module %q", fields[0])
+		}
+		var m partition.Mask
+		for _, f := range fields[1:] {
+			part, err := strconv.Atoi(f)
+			if err != nil || part < 0 || part >= k {
+				return nil, sc.errf("bad partition %q for module %s (k=%d)", f, fields[0], k)
+			}
+			m = m.With(part)
+		}
+		masks[v] = m
+	}
+	return masks, nil
+}
+
+// WriteSolution writes an assignment as "name part" lines.
+func WriteSolution(w io.Writer, p *partition.Problem, a partition.Assignment) error {
+	names, _, err := moduleNames(p.H)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	for v, part := range a {
+		fmt.Fprintf(bw, "%s %d\n", names[v], part)
+	}
+	return bw.Flush()
+}
+
+// ReadSolution parses a solution file for the problem's module names.
+func ReadSolution(r io.Reader, p *partition.Problem) (partition.Assignment, error) {
+	names, _, err := moduleNames(p.H)
+	if err != nil {
+		return nil, err
+	}
+	index := make(map[string]int, len(names))
+	for v, n := range names {
+		index[n] = v
+	}
+	sc := newScanner(r)
+	a := make(partition.Assignment, p.H.NumVertices())
+	seen := make([]bool, len(a))
+	for {
+		line, ok := sc.next()
+		if !ok {
+			break
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, sc.errf("malformed solution line %q", line)
+		}
+		v, ok := index[fields[0]]
+		if !ok {
+			return nil, sc.errf("solution references unknown module %q", fields[0])
+		}
+		part, err := strconv.Atoi(fields[1])
+		if err != nil || part < 0 || part >= p.K {
+			return nil, sc.errf("bad part %q", fields[1])
+		}
+		a[v] = int8(part)
+		seen[v] = true
+	}
+	for v, s := range seen {
+		if !s {
+			return nil, fmt.Errorf("bookshelf: solution missing module %s", names[v])
+		}
+	}
+	return a, nil
+}
+
+// WriteProblem writes a complete fixed-terminals benchmark bundle into dir:
+// base.net, base.are, base.blk and base.fix.
+func WriteProblem(dir, base string, p *partition.Problem) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	write := func(ext string, fn func(io.Writer) error) error {
+		f, err := os.Create(filepath.Join(dir, base+ext))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := fn(f); err != nil {
+			return fmt.Errorf("bookshelf: writing %s%s: %w", base, ext, err)
+		}
+		return f.Close()
+	}
+	netPath := filepath.Join(dir, base+".net")
+	nf, err := os.Create(netPath)
+	if err != nil {
+		return err
+	}
+	defer nf.Close()
+	af, err := os.Create(filepath.Join(dir, base+".are"))
+	if err != nil {
+		return err
+	}
+	defer af.Close()
+	if err := WriteNetAre(nf, af, p.H); err != nil {
+		return err
+	}
+	if err := nf.Close(); err != nil {
+		return err
+	}
+	if err := af.Close(); err != nil {
+		return err
+	}
+	if err := write(".blk", func(w io.Writer) error { return WriteBlk(w, p.Balance) }); err != nil {
+		return err
+	}
+	return write(".fix", func(w io.Writer) error { return WriteFix(w, p) })
+}
+
+// ReadProblem reads a benchmark bundle written by WriteProblem. A missing
+// .fix file yields a free instance.
+func ReadProblem(dir, base string) (*partition.Problem, error) {
+	nf, err := os.Open(filepath.Join(dir, base+".net"))
+	if err != nil {
+		return nil, err
+	}
+	defer nf.Close()
+	af, err := os.Open(filepath.Join(dir, base+".are"))
+	if err != nil {
+		return nil, err
+	}
+	defer af.Close()
+	h, err := ReadNetAre(nf, af)
+	if err != nil {
+		return nil, err
+	}
+	bf, err := os.Open(filepath.Join(dir, base+".blk"))
+	if err != nil {
+		return nil, err
+	}
+	defer bf.Close()
+	bal, k, err := ReadBlk(bf)
+	if err != nil {
+		return nil, err
+	}
+	p := &partition.Problem{H: h, K: k, Balance: bal}
+	ff, err := os.Open(filepath.Join(dir, base+".fix"))
+	if err == nil {
+		defer ff.Close()
+		names, _, nerr := moduleNames(h)
+		if nerr != nil {
+			return nil, nerr
+		}
+		index := make(map[string]int, len(names))
+		for v, n := range names {
+			index[n] = v
+		}
+		masks, ferr := ReadFix(ff, index, h.NumVertices(), k)
+		if ferr != nil {
+			return nil, ferr
+		}
+		p.Allowed = masks
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("bookshelf: read problem invalid: %w", err)
+	}
+	return p, nil
+}

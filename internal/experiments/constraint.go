@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+
+	"repro/internal/hypergraph"
+	"repro/internal/multilevel"
+	"repro/internal/partition"
+	"repro/internal/stats"
+)
+
+// ConstraintRow relates constraint-strength measures to observed instance
+// easiness at one fixing level. The paper's conclusion asks how to measure
+// "the strength of fixed terminals, or alternatively the degree of
+// constraint in particular problem instances"; this study pairs the
+// invariant measures of partition.Constrainedness with the multistart
+// benefit (1-start over 8-start average cut — near 1 means easy).
+type ConstraintRow struct {
+	Instance string
+	Regime   Regime
+	Fraction float64
+	Report   partition.ConstraintReport
+	// StartsBenefit is avg(1-start cut)/avg(8-start cut).
+	StartsBenefit float64
+	// AvgCut is the 1-start average cut.
+	AvgCut float64
+}
+
+// ConstraintStudy measures constraint strength and easiness across fixing
+// levels for both regimes.
+func ConstraintStudy(name string, h *hypergraph.Hypergraph, cfg SweepConfig) ([]ConstraintRow, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0xc057))
+	base := partition.NewBipartition(h, cfg.Tolerance)
+	bestRes, err := multilevel.Multistart(base, cfg.ML, cfg.GoodStarts, rng)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: constraint study on %s: %w", name, err)
+	}
+	sched, err := NewFixSchedule(h, 2, bestRes.Assignment, rng)
+	if err != nil {
+		return nil, err
+	}
+	var rows []ConstraintRow
+	for _, regime := range []Regime{Good, Rand} {
+		for _, frac := range cfg.Fractions {
+			prob := sched.Apply(base, frac, regime)
+			var one, eight float64
+			for trial := 0; trial < cfg.Trials; trial++ {
+				r1, err := multilevel.Partition(prob, cfg.ML, rng)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: constraint study %v %.1f%%: %w", regime, 100*frac, err)
+				}
+				one += float64(r1.Cut)
+				r8, err := multilevel.Multistart(prob, cfg.ML, 8, rng)
+				if err != nil {
+					return nil, err
+				}
+				eight += float64(r8.Cut)
+			}
+			row := ConstraintRow{
+				Instance: name,
+				Regime:   regime,
+				Fraction: frac,
+				Report:   partition.Constrainedness(prob),
+				AvgCut:   one / float64(cfg.Trials),
+			}
+			if eight > 0 {
+				row.StartsBenefit = one / eight
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// RenderConstraintStudy writes the study as a table.
+func RenderConstraintStudy(w io.Writer, rows []ConstraintRow) error {
+	fmt.Fprintf(w, "Constraint study: invariant constraint measures vs multistart benefit\n")
+	fmt.Fprintf(w, "(netfix = constrained-net fraction, touch = touched-free fraction,\n")
+	fmt.Fprintf(w, " forced = forced-cut lower bound, 1v8 = 1-start/8-start avg cut)\n\n")
+	t := &stats.Table{Header: []string{"instance", "regime", "%fixed", "netfix", "touch", "forced", "avg cut", "1v8"}}
+	for _, r := range rows {
+		t.Add(r.Instance, r.Regime.String(), fmt.Sprintf("%.1f", 100*r.Fraction),
+			fmt.Sprintf("%.3f", r.Report.ConstrainedNetFraction),
+			fmt.Sprintf("%.3f", r.Report.TouchedFreeFraction),
+			r.Report.ForcedCut,
+			fmt.Sprintf("%.1f", r.AvgCut),
+			fmt.Sprintf("%.3f", r.StartsBenefit))
+	}
+	return t.Render(w)
+}

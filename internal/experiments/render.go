@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/rent"
+	"repro/internal/stats"
+)
+
+// RenderTableI writes the paper's Table I for the given Rent parameters.
+func RenderTableI(w io.Writer, ps []float64, k float64) error {
+	rows, err := rent.TableI(ps, k)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Table I: block sizes below which expected fixed vertices exceed a given\n")
+	fmt.Fprintf(w, "percentage of instance vertices (k = %.1f pins/cell)\n\n", k)
+	t := &stats.Table{Header: []string{"p", ">5% fixed", ">10% fixed", ">20% fixed"}}
+	for _, r := range rows {
+		t.Add(fmt.Sprintf("%.2f", r.P),
+			fmt.Sprintf("%.0f", r.Cells5Pct),
+			fmt.Sprintf("%.0f", r.Cells10Pct),
+			fmt.Sprintf("%.0f", r.Cells20Pct))
+	}
+	return t.Render(w)
+}
+
+// RenderSweep writes a Figure 1/2 dataset as three tables per regime (raw
+// cut, normalized cut, CPU), with one column per starts trace — the text
+// equivalent of the paper's six plots.
+func RenderSweep(w io.Writer, res *SweepResult, starts []int) error {
+	fmt.Fprintf(w, "Figure data: %s (%d vertices), best free cut = %d\n",
+		res.Instance, res.Vertices, res.BestFreeCut)
+	fractions := sweepFractions(res)
+	for _, regime := range []Regime{Good, Rand} {
+		for _, metric := range []string{"raw best cut", "normalized cut", "CPU ms/trial"} {
+			fmt.Fprintf(w, "\n[%s] %s\n", regime, metric)
+			header := []string{"%fixed"}
+			for _, s := range starts {
+				header = append(header, fmt.Sprintf("%d start(s)", s))
+			}
+			t := &stats.Table{Header: header}
+			for _, f := range fractions {
+				row := []any{fmt.Sprintf("%.1f", 100*f)}
+				for _, s := range starts {
+					p := res.Point(regime, f, s)
+					if p == nil {
+						row = append(row, "-")
+						continue
+					}
+					switch metric {
+					case "raw best cut":
+						row = append(row, fmt.Sprintf("%.1f", p.AvgBestCut))
+					case "normalized cut":
+						row = append(row, fmt.Sprintf("%.3f", p.Normalized))
+					default:
+						row = append(row, fmt.Sprintf("%.1f", float64(p.AvgCPU.Microseconds())/1000))
+					}
+				}
+				t.Add(row...)
+			}
+			if err := t.Render(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SweepCSV writes the raw sweep data points as CSV (one row per regime x
+// fraction x starts cell), for plotting Figures 1-2 with external tools.
+func SweepCSV(w io.Writer, res *SweepResult) error {
+	t := &stats.Table{Header: []string{
+		"instance", "regime", "fraction", "starts", "avg_best_cut", "normalized", "avg_cpu_ms",
+	}}
+	for _, p := range res.Points {
+		t.Add(res.Instance, p.Regime.String(),
+			fmt.Sprintf("%g", p.Fraction), p.Starts,
+			fmt.Sprintf("%.3f", p.AvgBestCut),
+			fmt.Sprintf("%.4f", p.Normalized),
+			fmt.Sprintf("%.3f", float64(p.AvgCPU.Microseconds())/1000))
+	}
+	return t.CSV(w)
+}
+
+func sweepFractions(res *SweepResult) []float64 {
+	var out []float64
+	seen := map[float64]bool{}
+	for _, p := range res.Points {
+		if !seen[p.Fraction] {
+			seen[p.Fraction] = true
+			out = append(out, p.Fraction)
+		}
+	}
+	return out
+}
+
+// RenderTableII writes Table II rows.
+func RenderTableII(w io.Writer, rows []TableIIRow) error {
+	fmt.Fprintf(w, "Table II: LIFO-FM pass statistics (good regime)\n\n")
+	t := &stats.Table{Header: []string{"instance", "%fixed", "avg passes/run", "avg %moved/pass"}}
+	for _, r := range rows {
+		t.Add(r.Instance, fmt.Sprintf("%.1f", 100*r.Fraction),
+			fmt.Sprintf("%.2f", r.AvgPasses), fmt.Sprintf("%.1f", r.AvgPctMoved))
+	}
+	return t.Render(w)
+}
+
+// RenderTableIII writes Table III rows in the paper's "avg cut (avg CPU)"
+// form, one column per cutoff.
+func RenderTableIII(w io.Writer, rows []TableIIIRow, cutoffs []float64) error {
+	fmt.Fprintf(w, "Table III: LIFO-FM with pass cutoffs — avg cut (avg CPU ms)\n\n")
+	header := []string{"instance", "%fixed"}
+	for _, c := range cutoffs {
+		if c >= 1 {
+			header = append(header, "no cutoff")
+		} else {
+			header = append(header, fmt.Sprintf("%.0f%% moves", 100*c))
+		}
+	}
+	t := &stats.Table{Header: header}
+	type key struct {
+		inst string
+		frac float64
+	}
+	cells := map[key]map[float64]TableIIIRow{}
+	var order []key
+	for _, r := range rows {
+		k := key{r.Instance, r.Fraction}
+		if cells[k] == nil {
+			cells[k] = map[float64]TableIIIRow{}
+			order = append(order, k)
+		}
+		cells[k][r.Cutoff] = r
+	}
+	for _, k := range order {
+		row := []any{k.inst, fmt.Sprintf("%.1f", 100*k.frac)}
+		for _, c := range cutoffs {
+			r, ok := cells[k][c]
+			if !ok {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.1f (%.1f)", r.AvgCut, float64(r.AvgCPU.Microseconds())/1000))
+		}
+		t.Add(row...)
+	}
+	return t.Render(w)
+}
+
+// RenderTableIV writes Table IV rows.
+func RenderTableIV(w io.Writer, rows []TableIVRow) error {
+	fmt.Fprintf(w, "Table IV: parameters of derived fixed-terminals benchmarks\n\n")
+	t := &stats.Table{Header: []string{"instance", "cells", "nets", "pads", "ext nets", "Max%", "%fixed"}}
+	for _, r := range rows {
+		t.Add(r.Name, r.Cells, r.Nets, r.Pads, r.ExternalNets,
+			fmt.Sprintf("%.2f", r.MaxPct), fmt.Sprintf("%.1f", r.FixedPct))
+	}
+	return t.Render(w)
+}
+
+// RenderMultiway writes the multiway extension rows.
+func RenderMultiway(w io.Writer, rows []MultiwayRow) error {
+	fmt.Fprintf(w, "Multiway extension: k-way recursive bisection vs %%fixed\n\n")
+	t := &stats.Table{Header: []string{"instance", "k", "regime", "%fixed", "avg cut", "normalized"}}
+	for _, r := range rows {
+		t.Add(r.Instance, r.K, r.Regime.String(), fmt.Sprintf("%.1f", 100*r.Fraction),
+			fmt.Sprintf("%.1f", r.AvgCut), fmt.Sprintf("%.3f", r.Normalized))
+	}
+	return t.Render(w)
+}

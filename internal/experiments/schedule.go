@@ -1,0 +1,98 @@
+// Package experiments implements the paper's experimental protocol: nested
+// random fixing of vertex subsets in the "good" and "rand" regimes, the
+// multistart sweeps behind Figures 1 and 2, the flat-FM pass-statistics
+// study of Table II, the pass-cutoff study of Table III, and the
+// benchmark-parameter reporting of Tables I and IV.
+package experiments
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/hypergraph"
+	"repro/internal/partition"
+)
+
+// Regime selects how fixed vertices are assigned to partitions.
+type Regime int
+
+const (
+	// Good fixes chosen vertices consistently with the best min-cut
+	// solution known for the unconstrained instance.
+	Good Regime = iota
+	// Rand fixes chosen vertices independently into random partitions.
+	Rand
+)
+
+// String returns "good" or "rand".
+func (r Regime) String() string {
+	if r == Good {
+		return "good"
+	}
+	return "rand"
+}
+
+// DefaultFractions is the paper's fixed-vertex percentage schedule:
+// 0%, 0.1%, 0.5%, 1%, 2%, 5%, 10%, 15%, 20%, 30%, 40%, 50%.
+func DefaultFractions() []float64 {
+	return []float64{0, 0.001, 0.005, 0.01, 0.02, 0.05, 0.10, 0.15, 0.20, 0.30, 0.40, 0.50}
+}
+
+// FixSchedule precomputes a nested fixing order, so that (as in the paper)
+// all vertices fixed at 1% are also fixed at 2%: the first ceil(f*n)
+// vertices of Order are fixed at fraction f. RandParts holds the random
+// partition each vertex would be fixed into under the Rand regime, drawn
+// once so the regimes share the same vertex subsets.
+type FixSchedule struct {
+	Order        []int
+	RandParts    []int8
+	GoodSolution partition.Assignment
+	K            int
+}
+
+// NewFixSchedule draws a schedule for h. goodSolution is the best known
+// solution of the unconstrained instance (used by the Good regime); it must
+// cover every vertex.
+func NewFixSchedule(h *hypergraph.Hypergraph, k int, goodSolution partition.Assignment, rng *rand.Rand) (*FixSchedule, error) {
+	if len(goodSolution) != h.NumVertices() {
+		return nil, fmt.Errorf("experiments: good solution covers %d of %d vertices", len(goodSolution), h.NumVertices())
+	}
+	s := &FixSchedule{
+		Order:        rng.Perm(h.NumVertices()),
+		RandParts:    make([]int8, h.NumVertices()),
+		GoodSolution: goodSolution.Clone(),
+		K:            k,
+	}
+	for i := range s.RandParts {
+		s.RandParts[i] = int8(rng.IntN(k))
+	}
+	return s, nil
+}
+
+// NumFixed returns how many vertices are fixed at the given fraction.
+func (s *FixSchedule) NumFixed(fraction float64) int {
+	n := int(fraction * float64(len(s.Order)))
+	if n > len(s.Order) {
+		n = len(s.Order)
+	}
+	return n
+}
+
+// Apply returns a copy of base with the schedule's first fraction*n vertices
+// fixed under the given regime. The base problem's own constraints (if any)
+// are preserved and intersected with the fixing.
+func (s *FixSchedule) Apply(base *partition.Problem, fraction float64, regime Regime) *partition.Problem {
+	p := &partition.Problem{H: base.H, K: base.K, Balance: base.Balance}
+	if base.Allowed != nil {
+		p.Allowed = append([]partition.Mask(nil), base.Allowed...)
+	}
+	n := s.NumFixed(fraction)
+	for _, v := range s.Order[:n] {
+		part := int(s.GoodSolution[v])
+		if regime == Rand {
+			part = int(s.RandParts[v])
+		}
+		p.Fix(v, part)
+	}
+	return p
+}

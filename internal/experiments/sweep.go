@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"repro/internal/hypergraph"
+	"repro/internal/multilevel"
+	"repro/internal/partition"
+)
+
+// SweepConfig parameterizes the Figures 1-2 protocol.
+type SweepConfig struct {
+	// Fractions of vertices to fix (default DefaultFractions).
+	Fractions []float64
+	// Starts are the multistart counts plotted as separate traces
+	// (default 1, 2, 4, 8).
+	Starts []int
+	// Trials is the number of independent trials averaged per data point
+	// (the paper uses 50).
+	Trials int
+	// Tolerance is the balance tolerance (the paper uses 0.02).
+	Tolerance float64
+	// GoodStarts is the number of multilevel starts invested in finding the
+	// best-known solution of the unconstrained instance (default 10).
+	GoodStarts int
+	// ML configures the multilevel engine.
+	ML multilevel.Config
+	// Seed makes the sweep deterministic.
+	Seed uint64
+}
+
+func (c SweepConfig) withDefaults() SweepConfig {
+	if c.Fractions == nil {
+		c.Fractions = DefaultFractions()
+	}
+	if c.Starts == nil {
+		c.Starts = []int{1, 2, 4, 8}
+	}
+	if c.Trials <= 0 {
+		c.Trials = 10
+	}
+	if c.Tolerance <= 0 {
+		c.Tolerance = 0.02
+	}
+	if c.GoodStarts <= 0 {
+		c.GoodStarts = 10
+	}
+	return c
+}
+
+// SweepPoint is one data point of a Figure 1/2 plot: a (regime, fraction,
+// starts) cell averaged over trials.
+type SweepPoint struct {
+	Regime     Regime
+	Fraction   float64
+	Starts     int
+	AvgBestCut float64
+	// Normalized is AvgBestCut divided by the regime's reference: the
+	// best-known free cut for Good, and the best cut seen across every
+	// start of this instance (this fraction) for Rand.
+	Normalized float64
+	// AvgCPU is the average wall-clock per trial (all starts of the trial).
+	AvgCPU time.Duration
+}
+
+// SweepResult holds a full Figure 1/2 dataset for one circuit.
+type SweepResult struct {
+	Instance     string
+	Vertices     int
+	BestFreeCut  int64
+	GoodSolution partition.Assignment
+	Points       []SweepPoint
+	// RandBest[fraction] is the reference cut used to normalize the Rand
+	// regime at that fraction.
+	RandBest map[float64]int64
+}
+
+// RunSweep executes the paper's Figure 1/2 protocol on h.
+func RunSweep(name string, h *hypergraph.Hypergraph, cfg SweepConfig) (*SweepResult, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0xf19a7e))
+	base := partition.NewBipartition(h, cfg.Tolerance)
+
+	// Best-known solution of the unconstrained instance ("good" reference).
+	best, err := multilevel.Multistart(base, cfg.ML, cfg.GoodStarts, rng)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: finding good solution for %s: %w", name, err)
+	}
+	sched, err := NewFixSchedule(h, 2, best.Assignment, rng)
+	if err != nil {
+		return nil, err
+	}
+	res := &SweepResult{
+		Instance:     name,
+		Vertices:     h.NumVertices(),
+		BestFreeCut:  best.Cut,
+		GoodSolution: best.Assignment,
+		RandBest:     map[float64]int64{},
+	}
+	for _, regime := range []Regime{Good, Rand} {
+		for _, frac := range cfg.Fractions {
+			prob := sched.Apply(base, frac, regime)
+			type cell struct {
+				sumCut float64
+				sumCPU time.Duration
+			}
+			cells := make([]cell, len(cfg.Starts))
+			instBest := int64(1) << 62
+			for trial := 0; trial < cfg.Trials; trial++ {
+				for si, starts := range cfg.Starts {
+					t0 := time.Now()
+					r, err := multilevel.Multistart(prob, cfg.ML, starts, rng)
+					if err != nil {
+						return nil, fmt.Errorf("experiments: %s %v %.1f%% starts=%d: %w",
+							name, regime, 100*frac, starts, err)
+					}
+					cells[si].sumCut += float64(r.Cut)
+					cells[si].sumCPU += time.Since(t0)
+					if r.Cut < instBest {
+						instBest = r.Cut
+					}
+				}
+			}
+			if regime == Rand {
+				res.RandBest[frac] = instBest
+			}
+			for si, starts := range cfg.Starts {
+				pt := SweepPoint{
+					Regime:     regime,
+					Fraction:   frac,
+					Starts:     starts,
+					AvgBestCut: cells[si].sumCut / float64(cfg.Trials),
+					AvgCPU:     cells[si].sumCPU / time.Duration(cfg.Trials),
+				}
+				ref := float64(best.Cut)
+				if regime == Rand {
+					ref = float64(instBest)
+				}
+				if ref > 0 {
+					pt.Normalized = pt.AvgBestCut / ref
+				} else {
+					pt.Normalized = 1
+				}
+				res.Points = append(res.Points, pt)
+			}
+		}
+	}
+	return res, nil
+}
+
+// Point returns the sweep point for (regime, fraction, starts), or nil.
+func (r *SweepResult) Point(regime Regime, fraction float64, starts int) *SweepPoint {
+	for i := range r.Points {
+		p := &r.Points[i]
+		if p.Regime == regime && p.Fraction == fraction && p.Starts == starts {
+			return p
+		}
+	}
+	return nil
+}
+
+// StartsBenefit returns, for the given regime and fraction, the relative
+// quality advantage of the largest multistart trace over the single-start
+// trace: (avg cut at 1 start) / (avg cut at max starts). Values near 1 mean
+// extra starts buy nothing — the paper's "instances with many fixed
+// terminals are easy" signal.
+func (r *SweepResult) StartsBenefit(regime Regime, fraction float64) float64 {
+	var one, most *SweepPoint
+	maxStarts := 0
+	for i := range r.Points {
+		p := &r.Points[i]
+		if p.Regime != regime || p.Fraction != fraction {
+			continue
+		}
+		if p.Starts == 1 {
+			one = p
+		}
+		if p.Starts > maxStarts {
+			maxStarts = p.Starts
+			most = p
+		}
+	}
+	if one == nil || most == nil || most.AvgBestCut == 0 {
+		return 1
+	}
+	return one.AvgBestCut / most.AvgBestCut
+}

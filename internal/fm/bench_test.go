@@ -1,0 +1,64 @@
+package fm_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/fm"
+	"repro/internal/gen"
+	"repro/internal/partition"
+)
+
+func benchProblem(b *testing.B) *partition.Problem {
+	b.Helper()
+	pr, err := gen.PresetByName("IBM01S")
+	if err != nil {
+		b.Fatal(err)
+	}
+	nl, err := gen.Generate(pr.Params.Scaled(0.2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return partition.NewBipartition(nl.H, 0.02)
+}
+
+func benchFlat(b *testing.B, cfg fm.Config) {
+	p := benchProblem(b)
+	rng := rand.New(rand.NewPCG(1, 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fm.RunFromRandom(p, cfg, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFlatLIFO(b *testing.B) { benchFlat(b, fm.Config{Policy: fm.LIFO}) }
+func BenchmarkFlatCLIP(b *testing.B) { benchFlat(b, fm.Config{Policy: fm.CLIP}) }
+
+func BenchmarkFlatLIFOCutoff5(b *testing.B) {
+	benchFlat(b, fm.Config{Policy: fm.LIFO, MaxPassFraction: 0.05})
+}
+
+func BenchmarkKWayFM4(b *testing.B) {
+	pr, err := gen.PresetByName("IBM01S")
+	if err != nil {
+		b.Fatal(err)
+	}
+	nl, err := gen.Generate(pr.Params.Scaled(0.2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := partition.NewFree(nl.H, 4, 0.05)
+	rng := rand.New(rand.NewPCG(2, 2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		initial, err := partition.RandomFeasible(p, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := fm.KWayPartition(p, initial, fm.Config{Policy: fm.LIFO}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

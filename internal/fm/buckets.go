@@ -1,0 +1,109 @@
+// Package fm implements flat Fiduccia–Mattheyses partitioning with fixed
+// vertices: LIFO and CLIP vertex-selection policies, gain buckets, hard
+// pass-length cutoffs (the paper's Section III heuristic) and per-pass
+// statistics (Table II).
+package fm
+
+// gainBuckets is the classic FM bucket structure for one side of a
+// bipartition: an array of doubly-linked lists indexed by (clamped) gain key,
+// with a max-gain cursor. Insertions are at the head, so taking the head of
+// the highest non-empty bucket yields LIFO tie-breaking.
+type gainBuckets struct {
+	offset int32   // key k is stored at index k+offset
+	head   []int32 // head[idx] = first vertex, or -1
+	next   []int32 // next[v], -1 terminates (shared per side)
+	prev   []int32 // prev[v], -1 when v is a head
+	inIdx  []int32 // bucket index v currently occupies, -1 when absent
+	maxIdx int32   // highest index that may be non-empty (monotone estimate)
+	count  int
+}
+
+func newGainBuckets(numVerts int, maxKey int32) *gainBuckets {
+	b := &gainBuckets{
+		offset: maxKey,
+		head:   make([]int32, 2*maxKey+1),
+		next:   make([]int32, numVerts),
+		prev:   make([]int32, numVerts),
+		inIdx:  make([]int32, numVerts),
+		maxIdx: -1,
+	}
+	for i := range b.head {
+		b.head[i] = -1
+	}
+	for i := range b.inIdx {
+		b.inIdx[i] = -1
+	}
+	return b
+}
+
+// clampKey saturates key into the representable bucket range.
+func (b *gainBuckets) clampKey(key int64) int32 {
+	if key > int64(b.offset) {
+		return b.offset
+	}
+	if key < -int64(b.offset) {
+		return -b.offset
+	}
+	return int32(key)
+}
+
+func (b *gainBuckets) insert(v int32, key int64) {
+	idx := b.clampKey(key) + b.offset
+	b.inIdx[v] = idx
+	b.prev[v] = -1
+	b.next[v] = b.head[idx]
+	if h := b.head[idx]; h >= 0 {
+		b.prev[h] = v
+	}
+	b.head[idx] = v
+	if idx > b.maxIdx {
+		b.maxIdx = idx
+	}
+	b.count++
+}
+
+func (b *gainBuckets) remove(v int32) {
+	idx := b.inIdx[v]
+	if idx < 0 {
+		return
+	}
+	if p := b.prev[v]; p >= 0 {
+		b.next[p] = b.next[v]
+	} else {
+		b.head[idx] = b.next[v]
+	}
+	if n := b.next[v]; n >= 0 {
+		b.prev[n] = b.prev[v]
+	}
+	b.inIdx[v] = -1
+	b.count--
+}
+
+// update moves v to the bucket for key (LIFO position).
+func (b *gainBuckets) update(v int32, key int64) {
+	b.remove(v)
+	b.insert(v, key)
+}
+
+// settleMax lowers the max cursor past empty buckets and returns it, or -1
+// when the structure is empty.
+func (b *gainBuckets) settleMax() int32 {
+	for b.maxIdx >= 0 && b.head[b.maxIdx] < 0 {
+		b.maxIdx--
+	}
+	return b.maxIdx
+}
+
+func (b *gainBuckets) empty() bool { return b.count == 0 }
+
+// reset clears the structure for a new pass without reallocating.
+func (b *gainBuckets) reset() {
+	for i := range b.head {
+		b.head[i] = -1
+	}
+	for i := range b.inIdx {
+		b.inIdx[i] = -1
+	}
+	b.maxIdx = -1
+	b.count = 0
+}

@@ -1,0 +1,152 @@
+package fm
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestGainBucketsBasic(t *testing.T) {
+	b := newGainBuckets(8, 10)
+	if !b.empty() {
+		t.Fatal("new buckets not empty")
+	}
+	b.insert(3, 5)
+	b.insert(4, 5)
+	b.insert(5, -2)
+	if b.empty() || b.count != 3 {
+		t.Fatalf("count = %d", b.count)
+	}
+	// LIFO at equal key: vertex 4 inserted last sits at the head.
+	idx := b.settleMax()
+	if got := int64(idx - b.offset); got != 5 {
+		t.Fatalf("max key = %d, want 5", got)
+	}
+	if b.head[idx] != 4 {
+		t.Errorf("head = %d, want 4 (LIFO)", b.head[idx])
+	}
+	b.remove(4)
+	if b.head[idx] != 3 {
+		t.Errorf("after remove head = %d, want 3", b.head[idx])
+	}
+	b.remove(3)
+	if got := int64(b.settleMax() - b.offset); got != -2 {
+		t.Errorf("max after removals = %d, want -2", got)
+	}
+	b.remove(5)
+	if !b.empty() {
+		t.Error("should be empty")
+	}
+	if b.settleMax() >= 0 {
+		t.Error("settleMax on empty should be negative")
+	}
+}
+
+func TestGainBucketsUpdateMovesVertex(t *testing.T) {
+	b := newGainBuckets(4, 10)
+	b.insert(0, 1)
+	b.insert(1, 1)
+	b.update(0, 7)
+	if got := int64(b.settleMax() - b.offset); got != 7 {
+		t.Fatalf("max = %d, want 7", got)
+	}
+	if b.head[b.settleMax()] != 0 {
+		t.Error("vertex 0 not at new key")
+	}
+	// Vertex 1 remains alone at key 1.
+	b.remove(0)
+	if got := int64(b.settleMax() - b.offset); got != 1 {
+		t.Errorf("max = %d, want 1", got)
+	}
+}
+
+func TestGainBucketsClamp(t *testing.T) {
+	b := newGainBuckets(2, 4)
+	b.insert(0, 1_000_000)
+	b.insert(1, -1_000_000)
+	if got := int64(b.settleMax() - b.offset); got != 4 {
+		t.Errorf("clamped max = %d, want 4", got)
+	}
+	b.remove(0)
+	if got := int64(b.settleMax() - b.offset); got != -4 {
+		t.Errorf("clamped min = %d, want -4", got)
+	}
+}
+
+func TestGainBucketsRemoveAbsentIsNoop(t *testing.T) {
+	b := newGainBuckets(2, 4)
+	b.remove(1) // never inserted
+	if b.count != 0 {
+		t.Error("count changed")
+	}
+	b.insert(0, 2)
+	b.remove(0)
+	b.remove(0) // double remove
+	if b.count != 0 {
+		t.Errorf("count = %d", b.count)
+	}
+}
+
+func TestGainBucketsReset(t *testing.T) {
+	b := newGainBuckets(4, 4)
+	b.insert(0, 1)
+	b.insert(1, 2)
+	b.reset()
+	if !b.empty() || b.settleMax() >= 0 {
+		t.Error("reset did not clear")
+	}
+	b.insert(2, 3)
+	if got := int64(b.settleMax() - b.offset); got != 3 {
+		t.Errorf("post-reset insert broken: %d", got)
+	}
+}
+
+// TestGainBucketsModel drives the structure against a map-based model.
+func TestGainBucketsModel(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 61))
+		const n = 24
+		b := newGainBuckets(n, 12)
+		model := map[int32]int64{}
+		for op := 0; op < 200; op++ {
+			v := int32(rng.IntN(n))
+			switch rng.IntN(3) {
+			case 0: // insert/update
+				key := int64(rng.IntN(25) - 12)
+				if _, in := model[v]; in {
+					b.update(v, key)
+				} else {
+					b.insert(v, key)
+				}
+				model[v] = key
+			case 1: // remove
+				b.remove(v)
+				delete(model, v)
+			case 2: // check max
+				idx := b.settleMax()
+				if len(model) == 0 {
+					if idx >= 0 && b.head[idx] >= 0 {
+						return false
+					}
+					continue
+				}
+				var want int64 = -1 << 62
+				for _, k := range model {
+					if k > want {
+						want = k
+					}
+				}
+				if int64(idx-b.offset) != want {
+					return false
+				}
+			}
+			if b.count != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

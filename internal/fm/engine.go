@@ -1,0 +1,467 @@
+package fm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/hypergraph"
+	"repro/internal/partition"
+)
+
+// Policy selects the FM vertex-ordering discipline.
+type Policy int
+
+const (
+	// LIFO is classic FM with last-in-first-out tie-breaking within a gain
+	// bucket.
+	LIFO Policy = iota
+	// CLIP is the cluster-oriented iterative-improvement policy of Dutt and
+	// Deng: bucket keys start at zero for every vertex at the beginning of a
+	// pass and track only gain *updates*, so selection clusters around
+	// recently moved vertices.
+	CLIP
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case LIFO:
+		return "LIFO"
+	case CLIP:
+		return "CLIP"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Config controls a flat FM run.
+type Config struct {
+	// Policy is the vertex-selection discipline (LIFO or CLIP).
+	Policy Policy
+	// MaxPassFraction, when in (0,1), imposes the paper's hard cutoff on
+	// pass length: every pass after the first makes at most
+	// max(1, fraction*movable) moves. 0 or 1 means unlimited.
+	MaxPassFraction float64
+	// MaxPasses bounds the number of passes (safety net; FM converges well
+	// before this). 0 means the default of 64.
+	MaxPasses int
+	// RecordProfile fills PassStats.Profile with the cumulative-gain curve
+	// of each pass, used by the Section III pass-statistics study.
+	RecordProfile bool
+	// StallCutoff, when positive, ends a pass (after the first) once that
+	// many consecutive moves have failed to reach a new best prefix. It is
+	// an adaptive alternative to MaxPassFraction in the spirit of the
+	// paper's call for heuristics that exploit the fixed-terminals regime:
+	// rather than a fixed move budget, the pass stops when it has
+	// demonstrably gone stale. Both cutoffs may be combined.
+	StallCutoff int
+}
+
+func (c Config) maxPasses() int {
+	if c.MaxPasses <= 0 {
+		return 64
+	}
+	return c.MaxPasses
+}
+
+// PassStats records what happened in one FM pass. The paper's Table II is
+// built from Kept/Movable (percentage of nodes whose moves were retained;
+// the remaining moves were wasted and undone).
+type PassStats struct {
+	Moves int   // moves attempted during the pass
+	Kept  int   // best-prefix length: moves retained after rollback
+	Gain  int64 // cut reduction achieved by the pass (>= 0)
+	// Profile, when Config.RecordProfile is set, holds the fraction of the
+	// pass's final gain that had accumulated after 10%, 20%, ..., 100% of
+	// the moves (entries may be negative while the pass explores downhill).
+	// It quantifies the paper's observation that with fixed terminals the
+	// improvements concentrate near the beginning of the pass. Nil when the
+	// pass achieved no gain.
+	Profile []float64
+}
+
+// Result is the outcome of a flat FM run.
+type Result struct {
+	// Assignment is the best solution found (feasible by construction).
+	Assignment partition.Assignment
+	// Cut is the weighted cut of Assignment.
+	Cut int64
+	// Passes holds one entry per executed pass, including the final
+	// zero-gain pass that triggered termination.
+	Passes []PassStats
+	// Movable is the number of vertices free to move between the two parts.
+	Movable int
+}
+
+// TotalMoves returns the total number of moves attempted across all passes.
+func (r *Result) TotalMoves() int {
+	n := 0
+	for _, p := range r.Passes {
+		n += p.Moves
+	}
+	return n
+}
+
+// engine holds the per-run state of the bipartitioning FM kernel.
+type engine struct {
+	p   *partition.Problem
+	h   *hypergraph.Hypergraph
+	cfg Config
+
+	a        partition.Assignment
+	pinCount [2][]int32 // pins of net e in part s
+	weight   [2][]int64 // part weight per resource
+	movable  []bool
+	locked   []bool
+	gain     []int64 // actual gain of moving v to the other side
+	key      []int64 // bucket key (gain for LIFO, gain-delta for CLIP)
+	buckets  [2]*gainBuckets
+	nMovable int
+}
+
+// Bipartition refines the feasible initial assignment with flat FM passes
+// and returns the best solution found. The initial assignment is not
+// modified. Vertices whose allowed mask excludes one of the two parts are
+// treated as fixed terminals.
+func Bipartition(p *partition.Problem, initial partition.Assignment, cfg Config) (*Result, error) {
+	if p.K != 2 {
+		return nil, fmt.Errorf("fm: Bipartition requires k=2, got k=%d", p.K)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Feasible(initial); err != nil {
+		return nil, fmt.Errorf("fm: initial assignment: %w", err)
+	}
+	if cfg.MaxPassFraction < 0 || cfg.MaxPassFraction > 1 {
+		return nil, fmt.Errorf("fm: MaxPassFraction %v outside [0,1]", cfg.MaxPassFraction)
+	}
+	e := newEngine(p, initial, cfg)
+	return e.run(), nil
+}
+
+func newEngine(p *partition.Problem, initial partition.Assignment, cfg Config) *engine {
+	h := p.H
+	nv := h.NumVertices()
+	ne := h.NumNets()
+	nr := h.NumResources()
+	e := &engine{
+		p:       p,
+		h:       h,
+		cfg:     cfg,
+		a:       initial.Clone(),
+		movable: make([]bool, nv),
+		locked:  make([]bool, nv),
+		gain:    make([]int64, nv),
+		key:     make([]int64, nv),
+	}
+	for s := 0; s < 2; s++ {
+		e.pinCount[s] = make([]int32, ne)
+		e.weight[s] = make([]int64, nr)
+	}
+	for en := 0; en < ne; en++ {
+		for _, v := range h.Pins(en) {
+			e.pinCount[e.a[v]][en]++
+		}
+	}
+	for v := 0; v < nv; v++ {
+		for r := 0; r < nr; r++ {
+			e.weight[e.a[v]][r] += h.WeightIn(v, r)
+		}
+		m := p.MaskOf(v)
+		if m.Contains(0) && m.Contains(1) {
+			e.movable[v] = true
+			e.nMovable++
+		}
+	}
+	// Bucket key range: the largest possible |gain| is the max over movable
+	// vertices of the total incident net weight; CLIP deltas can reach twice
+	// that. Saturate beyond.
+	var maxAdj int64 = 1
+	for v := 0; v < nv; v++ {
+		if !e.movable[v] {
+			continue
+		}
+		var s int64
+		for _, en := range h.NetsOf(v) {
+			s += h.NetWeight(int(en))
+		}
+		if 2*s > maxAdj {
+			maxAdj = 2 * s
+		}
+	}
+	const maxBucketSpan = 1 << 21
+	if maxAdj > maxBucketSpan {
+		maxAdj = maxBucketSpan
+	}
+	e.buckets[0] = newGainBuckets(nv, int32(maxAdj))
+	e.buckets[1] = newGainBuckets(nv, int32(maxAdj))
+	return e
+}
+
+func (e *engine) run() *Result {
+	res := &Result{Movable: e.nMovable}
+	cut := partition.Cut(e.h, e.a)
+	if e.nMovable == 0 {
+		res.Assignment = e.a
+		res.Cut = cut
+		return res
+	}
+	moveLog := make([]int32, 0, e.nMovable)
+	for pass := 0; pass < e.cfg.maxPasses(); pass++ {
+		limit := e.nMovable
+		if pass > 0 && e.cfg.MaxPassFraction > 0 && e.cfg.MaxPassFraction < 1 {
+			limit = int(e.cfg.MaxPassFraction * float64(e.nMovable))
+			if limit < 1 {
+				limit = 1
+			}
+		}
+		stall := 0
+		if pass > 0 {
+			stall = e.cfg.StallCutoff
+		}
+		stats := e.runPass(limit, stall, &moveLog)
+		res.Passes = append(res.Passes, stats)
+		cut -= stats.Gain
+		if stats.Gain <= 0 {
+			break
+		}
+	}
+	res.Assignment = e.a
+	res.Cut = cut
+	return res
+}
+
+// runPass executes one FM pass (up to limit moves, ending early after
+// stall consecutive non-improving moves when stall > 0), rolls back to the
+// best prefix, and returns its statistics.
+func (e *engine) runPass(limit, stall int, moveLog *[]int32) PassStats {
+	e.initPass()
+	log := (*moveLog)[:0]
+	var cum, bestCum int64
+	bestIdx := 0
+	var cumLog []int64
+	for len(log) < limit {
+		v := e.selectMove()
+		if v < 0 {
+			break
+		}
+		g := e.gain[v]
+		e.applyMove(v)
+		cum += g
+		log = append(log, v)
+		if e.cfg.RecordProfile {
+			cumLog = append(cumLog, cum)
+		}
+		if cum > bestCum {
+			bestCum = cum
+			bestIdx = len(log)
+		}
+		if stall > 0 && len(log)-bestIdx >= stall {
+			break
+		}
+	}
+	for i := len(log) - 1; i >= bestIdx; i-- {
+		e.undoMove(log[i])
+	}
+	*moveLog = log
+	stats := PassStats{Moves: len(log), Kept: bestIdx, Gain: bestCum}
+	if e.cfg.RecordProfile && bestCum > 0 {
+		stats.Profile = gainProfile(cumLog, bestCum)
+	}
+	return stats
+}
+
+// gainProfile samples the cumulative gain curve at move-count deciles,
+// normalized by the pass's final (best-prefix) gain.
+func gainProfile(cumLog []int64, best int64) []float64 {
+	prof := make([]float64, 10)
+	n := len(cumLog)
+	for i := 0; i < 10; i++ {
+		idx := (i + 1) * n / 10
+		if idx == 0 {
+			continue
+		}
+		prof[i] = float64(cumLog[idx-1]) / float64(best)
+	}
+	return prof
+}
+
+// initPass computes fresh gains and fills the bucket structures. Under CLIP
+// every vertex starts with bucket key zero, but the zero bucket is seeded in
+// ascending actual-gain order so that the LIFO head — the pass's anchor move
+// — is the highest-actual-gain vertex, per Dutt and Deng.
+func (e *engine) initPass() {
+	e.buckets[0].reset()
+	e.buckets[1].reset()
+	h := e.h
+	order := make([]int32, 0, e.nMovable)
+	for v := 0; v < h.NumVertices(); v++ {
+		if !e.movable[v] {
+			continue
+		}
+		e.locked[v] = false
+		s := int(e.a[v])
+		var g int64
+		for _, en := range h.NetsOf(v) {
+			w := h.NetWeight(int(en))
+			if e.pinCount[s][en] == 1 {
+				g += w
+			}
+			if e.pinCount[1-s][en] == 0 {
+				g -= w
+			}
+		}
+		e.gain[v] = g
+		order = append(order, int32(v))
+	}
+	if e.cfg.Policy == CLIP {
+		sort.Slice(order, func(i, j int) bool { return e.gain[order[i]] < e.gain[order[j]] })
+	}
+	for _, v := range order {
+		if e.cfg.Policy == CLIP {
+			e.key[v] = 0
+		} else {
+			e.key[v] = e.gain[v]
+		}
+		e.buckets[e.a[v]].insert(v, e.key[v])
+	}
+}
+
+// feasibleMove reports whether moving v out of side s keeps balance.
+func (e *engine) feasibleMove(v int32, s int) bool {
+	o := 1 - s
+	for r := 0; r < e.h.NumResources(); r++ {
+		w := e.h.WeightIn(int(v), r)
+		if e.weight[s][r]-w < e.p.Balance.Min[s][r] {
+			return false
+		}
+		if e.weight[o][r]+w > e.p.Balance.Max[o][r] {
+			return false
+		}
+	}
+	return true
+}
+
+// bucketScanCap bounds how many infeasible vertices we examine per bucket
+// before skipping to the next gain level; this keeps selection cheap when a
+// side sits at its balance boundary.
+const bucketScanCap = 8
+
+// selectMove picks the highest-key feasible move, scanning the heavier side
+// first so that ties favour the balance-improving direction. Returns -1 when
+// no feasible move exists.
+func (e *engine) selectMove() int32 {
+	first := 0
+	if e.weight[1][0] > e.weight[0][0] {
+		first = 1
+	}
+	best := int32(-1)
+	bestKey := int64(math.MinInt64)
+	for _, s := range [2]int{first, 1 - first} {
+		b := e.buckets[s]
+		if b.empty() {
+			continue
+		}
+		idx := b.settleMax()
+		for idx >= 0 {
+			key := int64(idx - b.offset)
+			if best >= 0 && key <= bestKey {
+				break
+			}
+			misses := 0
+			for v := b.head[idx]; v >= 0; v = b.next[v] {
+				if e.feasibleMove(v, s) {
+					best, bestKey = v, key
+					break
+				}
+				if misses++; misses >= bucketScanCap {
+					break
+				}
+			}
+			idx--
+		}
+	}
+	return best
+}
+
+// applyMove moves v to the other side, locks it, and updates neighbour gains
+// with the standard FM critical-net rules.
+func (e *engine) applyMove(v int32) {
+	h := e.h
+	from := int(e.a[v])
+	to := 1 - from
+	e.locked[v] = true
+	e.buckets[from].remove(v)
+	for _, en := range h.NetsOf(int(v)) {
+		w := h.NetWeight(int(en))
+		pins := h.Pins(int(en))
+		// Before the move.
+		switch e.pinCount[to][en] {
+		case 0:
+			// Net becomes cut: every free pin would now gain by following.
+			for _, u := range pins {
+				e.deltaGain(u, w)
+			}
+		case 1:
+			// The lone to-side pin is no longer critical.
+			for _, u := range pins {
+				if int(e.a[u]) == to {
+					e.deltaGain(u, -w)
+				}
+			}
+		}
+		e.pinCount[from][en]--
+		e.pinCount[to][en]++
+		// After the move.
+		switch e.pinCount[from][en] {
+		case 0:
+			// Net is now uncut: no pin gains from crossing anymore.
+			for _, u := range pins {
+				e.deltaGain(u, -w)
+			}
+		case 1:
+			// The lone remaining from-side pin became critical.
+			for _, u := range pins {
+				if u != v && int(e.a[u]) == from {
+					e.deltaGain(u, w)
+				}
+			}
+		}
+	}
+	for r := 0; r < h.NumResources(); r++ {
+		w := h.WeightIn(int(v), r)
+		e.weight[from][r] -= w
+		e.weight[to][r] += w
+	}
+	e.a[v] = int8(to)
+}
+
+// deltaGain adjusts the gain and bucket position of u if it is still in play.
+func (e *engine) deltaGain(u int32, d int64) {
+	if e.locked[u] || !e.movable[u] {
+		return
+	}
+	e.gain[u] += d
+	e.key[u] += d
+	e.buckets[e.a[u]].update(u, e.key[u])
+}
+
+// undoMove reverses applyMove's structural effects (assignment, pin counts,
+// weights). Gains are rebuilt at the next pass, so they are left stale.
+func (e *engine) undoMove(v int32) {
+	h := e.h
+	from := int(e.a[v]) // side v currently occupies (the move's destination)
+	to := 1 - from      // original side
+	for _, en := range h.NetsOf(int(v)) {
+		e.pinCount[from][en]--
+		e.pinCount[to][en]++
+	}
+	for r := 0; r < h.NumResources(); r++ {
+		w := h.WeightIn(int(v), r)
+		e.weight[from][r] -= w
+		e.weight[to][r] += w
+	}
+	e.a[v] = int8(to)
+}

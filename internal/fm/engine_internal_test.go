@@ -1,0 +1,178 @@
+package fm
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hypergraph"
+	"repro/internal/partition"
+)
+
+// buildEngineProblem makes a random bipartition problem with a feasible
+// initial assignment.
+func buildEngineProblem(seed uint64, nv int) (*partition.Problem, partition.Assignment, bool) {
+	rng := rand.New(rand.NewPCG(seed, 123))
+	b := hypergraph.NewBuilder(1)
+	for i := 0; i < nv; i++ {
+		b.AddVertex(int64(1 + rng.IntN(4)))
+	}
+	for e := 0; e < 2*nv; e++ {
+		sz := 2 + rng.IntN(3)
+		b.AddNet(rng.Perm(nv)[:sz]...)
+	}
+	p := partition.NewBipartition(b.MustBuild(), 0.1)
+	for v := 0; v < nv; v++ {
+		if rng.IntN(5) == 0 {
+			p.Fix(v, rng.IntN(2))
+		}
+	}
+	initial, err := partition.RandomFeasible(p, rng)
+	if err != nil {
+		return nil, nil, false
+	}
+	return p, initial, true
+}
+
+// TestEngineInvariants drives the bipartition engine and checks that its
+// incremental bookkeeping (pin counts, part weights) matches a from-scratch
+// recomputation after the run.
+func TestEngineInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		p, initial, ok := buildEngineProblem(seed, 40)
+		if !ok {
+			return true
+		}
+		e := newEngine(p, initial, Config{Policy: LIFO})
+		res := e.run()
+		h := p.H
+		// Recompute pin counts from the final assignment.
+		for en := 0; en < h.NumNets(); en++ {
+			var want [2]int32
+			for _, v := range h.Pins(en) {
+				want[e.a[v]]++
+			}
+			if e.pinCount[0][en] != want[0] || e.pinCount[1][en] != want[1] {
+				return false
+			}
+		}
+		// Recompute part weights.
+		var wantW [2]int64
+		for v := 0; v < h.NumVertices(); v++ {
+			wantW[e.a[v]] += h.Weight(v)
+		}
+		if e.weight[0][0] != wantW[0] || e.weight[1][0] != wantW[1] {
+			return false
+		}
+		// The engine's final assignment is the reported one.
+		for v := range res.Assignment {
+			if res.Assignment[v] != e.a[v] {
+				return false
+			}
+		}
+		return res.Cut == partition.Cut(h, res.Assignment)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineGainsFreshEachPass verifies initPass recomputes gains that match
+// the textbook FS-TE definition.
+func TestEngineGainsFreshEachPass(t *testing.T) {
+	p, initial, ok := buildEngineProblem(7, 30)
+	if !ok {
+		t.Skip("infeasible draw")
+	}
+	e := newEngine(p, initial, Config{Policy: LIFO})
+	e.initPass()
+	h := p.H
+	for v := 0; v < h.NumVertices(); v++ {
+		if !e.movable[v] {
+			continue
+		}
+		s := int(e.a[v])
+		var want int64
+		for _, en := range h.NetsOf(v) {
+			w := h.NetWeight(int(en))
+			if e.pinCount[s][en] == 1 {
+				want += w
+			}
+			if e.pinCount[1-s][en] == 0 {
+				want -= w
+			}
+		}
+		if e.gain[v] != want {
+			t.Fatalf("vertex %d gain %d, want %d", v, e.gain[v], want)
+		}
+		// A single applied move must keep neighbour gains consistent with a
+		// from-scratch recomputation.
+	}
+	// Apply the best feasible move and re-verify every unlocked gain.
+	v := e.selectMove()
+	if v < 0 {
+		t.Skip("no feasible move")
+	}
+	e.applyMove(v)
+	for u := 0; u < h.NumVertices(); u++ {
+		if !e.movable[u] || e.locked[u] {
+			continue
+		}
+		s := int(e.a[u])
+		var want int64
+		for _, en := range h.NetsOf(u) {
+			w := h.NetWeight(int(en))
+			if e.pinCount[s][en] == 1 {
+				want += w
+			}
+			if e.pinCount[1-s][en] == 0 {
+				want -= w
+			}
+		}
+		if e.gain[u] != want {
+			t.Fatalf("after move: vertex %d gain %d, want %d", u, e.gain[u], want)
+		}
+	}
+}
+
+// TestKWayEngineGainConsistency checks the k-way engine's incremental gain
+// updates against from-scratch recomputation after a few applied moves.
+func TestKWayEngineGainConsistency(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 11))
+	b := hypergraph.NewBuilder(1)
+	const nv = 36
+	for i := 0; i < nv; i++ {
+		b.AddVertex(1)
+	}
+	for e := 0; e < 2*nv; e++ {
+		sz := 2 + rng.IntN(3)
+		b.AddNet(rng.Perm(nv)[:sz]...)
+	}
+	p := partition.NewFree(b.MustBuild(), 3, 0.2)
+	initial, err := partition.RandomFeasible(p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newKWayEngine(p, initial, Config{Policy: LIFO})
+	e.initPass()
+	for step := 0; step < 5; step++ {
+		mid := e.selectMove()
+		if mid < 0 {
+			break
+		}
+		e.applyMove(int32(mid/e.k), mid%e.k)
+		for u := int32(0); int(u) < nv; u++ {
+			if e.locked[u] || !e.movable[u] {
+				continue
+			}
+			for t2 := 0; t2 < e.k; t2++ {
+				if t2 == int(e.a[u]) {
+					continue
+				}
+				if got, want := e.gain[int(u)*e.k+t2], e.moveGain(u, t2); got != want {
+					t.Fatalf("step %d: move (%d->%d) gain %d, want %d", step, u, t2, got, want)
+				}
+			}
+		}
+	}
+}

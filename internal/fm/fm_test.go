@@ -1,0 +1,432 @@
+package fm_test
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fm"
+	"repro/internal/hypergraph"
+	"repro/internal/partition"
+)
+
+// twoClusters builds a netlist with two densely connected groups of n
+// vertices each, joined by `bridges` 2-pin nets. The optimal bisection cuts
+// exactly the bridges.
+func twoClusters(n, bridges int) *hypergraph.Hypergraph {
+	b := hypergraph.NewBuilder(1)
+	for i := 0; i < 2*n; i++ {
+		b.AddVertex(1)
+	}
+	for g := 0; g < 2; g++ {
+		base := g * n
+		for i := 0; i < n; i++ {
+			b.AddNet(base+i, base+(i+1)%n) // ring
+			if i+2 < n {
+				b.AddNet(base+i, base+i+2) // chords
+			}
+		}
+	}
+	for i := 0; i < bridges; i++ {
+		b.AddNet(i%n, n+i%n)
+	}
+	return b.MustBuild()
+}
+
+func randomProblem(seed uint64, nVerts int) (*partition.Problem, *rand.Rand) {
+	rng := rand.New(rand.NewPCG(seed, 99))
+	b := hypergraph.NewBuilder(1)
+	for i := 0; i < nVerts; i++ {
+		b.AddVertex(int64(1 + rng.IntN(4)))
+	}
+	ne := nVerts * 2
+	for e := 0; e < ne; e++ {
+		sz := 2 + rng.IntN(3)
+		b.AddNet(rng.Perm(nVerts)[:sz]...)
+	}
+	h := b.MustBuild()
+	return partition.NewBipartition(h, 0.1), rng
+}
+
+func TestBipartitionFindsOptimalOnTwoClusters(t *testing.T) {
+	h := twoClusters(20, 2)
+	p := partition.NewBipartition(h, 0.02)
+	rng := rand.New(rand.NewPCG(42, 0))
+	best := int64(1 << 60)
+	for start := 0; start < 8; start++ {
+		res, err := fm.RunFromRandom(p, fm.Config{Policy: fm.LIFO}, rng)
+		if err != nil {
+			t.Fatalf("RunFromRandom: %v", err)
+		}
+		if res.Cut < best {
+			best = res.Cut
+		}
+	}
+	if best != 2 {
+		t.Errorf("best cut over 8 starts = %d, want 2 (the bridges)", best)
+	}
+}
+
+func TestBipartitionCutConsistency(t *testing.T) {
+	f := func(seed uint64) bool {
+		p, rng := randomProblem(seed, 30)
+		res, err := fm.RunFromRandom(p, fm.Config{Policy: fm.LIFO}, rng)
+		if err != nil {
+			return false
+		}
+		if res.Cut != partition.Cut(p.H, res.Assignment) {
+			return false
+		}
+		return p.Feasible(res.Assignment) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBipartitionNeverWorseThanInitial(t *testing.T) {
+	f := func(seed uint64) bool {
+		p, rng := randomProblem(seed, 40)
+		initial, err := partition.RandomFeasible(p, rng)
+		if err != nil {
+			return false
+		}
+		res, err := fm.Bipartition(p, initial, fm.Config{Policy: fm.LIFO})
+		if err != nil {
+			return false
+		}
+		return res.Cut <= partition.Cut(p.H, initial)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFixedVerticesStayPut(t *testing.T) {
+	f := func(seed uint64) bool {
+		p, rng := randomProblem(seed, 40)
+		nv := p.H.NumVertices()
+		type fix struct{ v, part int }
+		var fixes []fix
+		for v := 0; v < nv; v++ {
+			if rng.IntN(4) == 0 {
+				part := rng.IntN(2)
+				p.Fix(v, part)
+				fixes = append(fixes, fix{v, part})
+			}
+		}
+		res, err := fm.RunFromRandom(p, fm.Config{Policy: fm.LIFO}, rng)
+		if err != nil {
+			// Heavy fixing can make the 10% balance infeasible; skip.
+			return true
+		}
+		for _, fx := range fixes {
+			if int(res.Assignment[fx.v]) != fx.part {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLIPPolicy(t *testing.T) {
+	h := twoClusters(20, 2)
+	p := partition.NewBipartition(h, 0.02)
+	rng := rand.New(rand.NewPCG(7, 0))
+	best := int64(1 << 60)
+	for start := 0; start < 8; start++ {
+		res, err := fm.RunFromRandom(p, fm.Config{Policy: fm.CLIP}, rng)
+		if err != nil {
+			t.Fatalf("RunFromRandom: %v", err)
+		}
+		if err := p.Feasible(res.Assignment); err != nil {
+			t.Fatalf("infeasible: %v", err)
+		}
+		if res.Cut != partition.Cut(p.H, res.Assignment) {
+			t.Fatalf("cut mismatch")
+		}
+		if res.Cut < best {
+			best = res.Cut
+		}
+	}
+	if best != 2 {
+		t.Errorf("CLIP best cut = %d, want 2", best)
+	}
+}
+
+func TestPassStats(t *testing.T) {
+	p, rng := randomProblem(3, 60)
+	res, err := fm.RunFromRandom(p, fm.Config{Policy: fm.LIFO}, rng)
+	if err != nil {
+		t.Fatalf("RunFromRandom: %v", err)
+	}
+	if len(res.Passes) == 0 {
+		t.Fatal("no passes recorded")
+	}
+	for i, ps := range res.Passes {
+		if ps.Kept > ps.Moves {
+			t.Errorf("pass %d: kept %d > moves %d", i, ps.Kept, ps.Moves)
+		}
+		if ps.Gain < 0 {
+			t.Errorf("pass %d: negative gain %d", i, ps.Gain)
+		}
+	}
+	last := res.Passes[len(res.Passes)-1]
+	if last.Gain != 0 && len(res.Passes) < 64 {
+		t.Errorf("run should end with a zero-gain pass, got %d", last.Gain)
+	}
+	if res.TotalMoves() <= 0 {
+		t.Errorf("TotalMoves = %d", res.TotalMoves())
+	}
+}
+
+func TestPassCutoffLimitsMoves(t *testing.T) {
+	p, rng := randomProblem(5, 100)
+	res, err := fm.RunFromRandom(p, fm.Config{Policy: fm.LIFO, MaxPassFraction: 0.1}, rng)
+	if err != nil {
+		t.Fatalf("RunFromRandom: %v", err)
+	}
+	limit := int(0.1 * float64(res.Movable))
+	if limit < 1 {
+		limit = 1
+	}
+	for i, ps := range res.Passes {
+		if i == 0 {
+			continue // first pass is exempt, per the paper
+		}
+		if ps.Moves > limit {
+			t.Errorf("pass %d made %d moves, cutoff %d", i, ps.Moves, limit)
+		}
+	}
+	if len(res.Passes) > 1 && res.Passes[0].Moves <= limit {
+		t.Logf("note: first pass made only %d moves (allowed)", res.Passes[0].Moves)
+	}
+}
+
+func TestNoMovableVertices(t *testing.T) {
+	h := twoClusters(4, 1)
+	p := partition.NewBipartition(h, 0.25)
+	for v := 0; v < h.NumVertices(); v++ {
+		p.Fix(v, v/4) // first cluster in part 0, second in part 1
+	}
+	initial := make(partition.Assignment, h.NumVertices())
+	for v := range initial {
+		initial[v] = int8(v / 4)
+	}
+	res, err := fm.Bipartition(p, initial, fm.Config{})
+	if err != nil {
+		t.Fatalf("Bipartition: %v", err)
+	}
+	if res.Movable != 0 || len(res.Passes) != 0 {
+		t.Errorf("movable=%d passes=%d, want 0/0", res.Movable, len(res.Passes))
+	}
+	if res.Cut != partition.Cut(h, initial) {
+		t.Errorf("cut changed with no movable vertices")
+	}
+}
+
+func TestBipartitionErrors(t *testing.T) {
+	h := twoClusters(4, 1)
+	initial := make(partition.Assignment, h.NumVertices())
+	for v := 4; v < 8; v++ {
+		initial[v] = 1
+	}
+	t.Run("k!=2", func(t *testing.T) {
+		p := partition.NewFree(h, 4, 0.1)
+		if _, err := fm.Bipartition(p, initial, fm.Config{}); err == nil {
+			t.Error("want error")
+		}
+	})
+	t.Run("infeasible initial", func(t *testing.T) {
+		p := partition.NewBipartition(h, 0.02)
+		bad := make(partition.Assignment, h.NumVertices()) // everything in part 0
+		if _, err := fm.Bipartition(p, bad, fm.Config{}); err == nil {
+			t.Error("want error")
+		}
+	})
+	t.Run("bad fraction", func(t *testing.T) {
+		p := partition.NewBipartition(h, 0.1)
+		if _, err := fm.Bipartition(p, initial, fm.Config{MaxPassFraction: 1.5}); err == nil {
+			t.Error("want error")
+		}
+	})
+}
+
+func TestORRegionVertexMovableInBipartition(t *testing.T) {
+	h := twoClusters(10, 1)
+	p := partition.NewBipartition(h, 0.1)
+	// An OR-region over both parts is equivalent to free in bipartitioning.
+	p.Restrict(0, partition.Single(0).With(1))
+	rng := rand.New(rand.NewPCG(9, 9))
+	res, err := fm.RunFromRandom(p, fm.Config{}, rng)
+	if err != nil {
+		t.Fatalf("RunFromRandom: %v", err)
+	}
+	if res.Movable != h.NumVertices() {
+		t.Errorf("Movable = %d, want %d", res.Movable, h.NumVertices())
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if fm.LIFO.String() != "LIFO" || fm.CLIP.String() != "CLIP" {
+		t.Error("Policy.String wrong")
+	}
+	if fm.Policy(9).String() == "" {
+		t.Error("unknown policy should still format")
+	}
+}
+
+func TestKWayRefine(t *testing.T) {
+	h := twoClusters(20, 2)
+	p := partition.NewFree(h, 4, 0.1)
+	rng := rand.New(rand.NewPCG(11, 0))
+	initial, err := partition.RandomFeasible(p, rng)
+	if err != nil {
+		t.Fatalf("RandomFeasible: %v", err)
+	}
+	before := partition.Cut(h, initial)
+	a, cut, err := fm.KWayRefine(p, initial, 0, rng)
+	if err != nil {
+		t.Fatalf("KWayRefine: %v", err)
+	}
+	if err := p.Feasible(a); err != nil {
+		t.Fatalf("infeasible: %v", err)
+	}
+	if cut > before {
+		t.Errorf("k-way refine worsened cut: %d -> %d", before, cut)
+	}
+	if cut != partition.Cut(h, a) {
+		t.Errorf("reported cut %d != recomputed %d", cut, partition.Cut(h, a))
+	}
+}
+
+func TestKWayRefineRespectsFixed(t *testing.T) {
+	h := twoClusters(12, 1)
+	p := partition.NewFree(h, 3, 0.2)
+	p.Fix(0, 2)
+	p.Fix(13, 1)
+	rng := rand.New(rand.NewPCG(13, 0))
+	initial, err := partition.RandomFeasible(p, rng)
+	if err != nil {
+		t.Fatalf("RandomFeasible: %v", err)
+	}
+	a, _, err := fm.KWayRefine(p, initial, 4, rng)
+	if err != nil {
+		t.Fatalf("KWayRefine: %v", err)
+	}
+	if a[0] != 2 || a[13] != 1 {
+		t.Errorf("fixed vertices moved: a[0]=%d a[13]=%d", a[0], a[13])
+	}
+}
+
+func TestKWayRefineErrors(t *testing.T) {
+	h := twoClusters(6, 1)
+	p := partition.NewFree(h, 3, 0.1)
+	rng := rand.New(rand.NewPCG(17, 0))
+	bad := make(partition.Assignment, h.NumVertices())
+	if _, _, err := fm.KWayRefine(p, bad, 2, rng); err == nil {
+		t.Error("want error for infeasible initial")
+	}
+}
+
+// TestTableIIShape checks the paper's Table II direction on a small scale:
+// with many fixed terminals, the retained fraction of moves per pass (after
+// the first) should not exceed the free case by much; typically it drops.
+func TestTableIIShape(t *testing.T) {
+	h := twoClusters(40, 4)
+	keptFraction := func(fixedFrac float64) float64 {
+		p := partition.NewBipartition(h, 0.1)
+		rng := rand.New(rand.NewPCG(23, uint64(fixedFrac*100)))
+		nv := h.NumVertices()
+		nFix := int(fixedFrac * float64(nv))
+		for _, v := range rng.Perm(nv)[:nFix] {
+			p.Fix(v, rng.IntN(2))
+		}
+		totKept, totMovable := 0, 0
+		for trial := 0; trial < 10; trial++ {
+			res, err := fm.RunFromRandom(p, fm.Config{Policy: fm.LIFO}, rng)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			for i, ps := range res.Passes {
+				if i == 0 {
+					continue
+				}
+				totKept += ps.Kept
+				totMovable += res.Movable
+			}
+		}
+		if totMovable == 0 {
+			return 0
+		}
+		return float64(totKept) / float64(totMovable)
+	}
+	free := keptFraction(0)
+	heavy := keptFraction(0.4)
+	t.Logf("kept fraction after first pass: free=%.3f 40%%fixed=%.3f", free, heavy)
+	if heavy > free+0.3 {
+		t.Errorf("kept fraction with heavy fixing (%.3f) unexpectedly exceeds free case (%.3f)", heavy, free)
+	}
+}
+
+func TestRecordProfile(t *testing.T) {
+	p, rng := randomProblem(77, 80)
+	res, err := fm.RunFromRandom(p, fm.Config{Policy: fm.LIFO, RecordProfile: true}, rng)
+	if err != nil {
+		t.Fatalf("RunFromRandom: %v", err)
+	}
+	sawProfile := false
+	for _, ps := range res.Passes {
+		if ps.Gain > 0 {
+			if ps.Profile == nil || len(ps.Profile) != 10 {
+				t.Fatalf("improving pass missing profile: %+v", ps)
+			}
+			sawProfile = true
+			if ps.Profile[9] > 1.0001 {
+				t.Errorf("profile end %v exceeds 1", ps.Profile[9])
+			}
+		} else if ps.Profile != nil {
+			t.Errorf("zero-gain pass has profile")
+		}
+	}
+	if !sawProfile {
+		t.Skip("no improving passes in this draw")
+	}
+	// Without the flag, no profiles are recorded.
+	res2, err := fm.RunFromRandom(p, fm.Config{Policy: fm.LIFO}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ps := range res2.Passes {
+		if ps.Profile != nil {
+			t.Error("profile recorded without RecordProfile")
+		}
+	}
+}
+
+func TestStallCutoff(t *testing.T) {
+	p, rng := randomProblem(88, 120)
+	res, err := fm.RunFromRandom(p, fm.Config{Policy: fm.LIFO, StallCutoff: 5}, rng)
+	if err != nil {
+		t.Fatalf("RunFromRandom: %v", err)
+	}
+	if err := p.Feasible(res.Assignment); err != nil {
+		t.Fatalf("infeasible: %v", err)
+	}
+	if res.Cut != partition.Cut(p.H, res.Assignment) {
+		t.Fatal("cut mismatch")
+	}
+	// After the first pass, no pass runs more than 5 moves past its best
+	// prefix.
+	for i, ps := range res.Passes {
+		if i == 0 {
+			continue
+		}
+		if ps.Moves-ps.Kept > 5 {
+			t.Errorf("pass %d overran stall cutoff: moves=%d kept=%d", i, ps.Moves, ps.Kept)
+		}
+	}
+}

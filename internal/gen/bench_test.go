@@ -1,0 +1,19 @@
+package gen_test
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func BenchmarkGenerateIBM01S(b *testing.B) {
+	pr, err := gen.PresetByName("IBM01S")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := gen.Generate(pr.Params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package hypergraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ContractOptions controls Contract behaviour.
+type ContractOptions struct {
+	// MergeParallelNets combines nets with identical pin sets into a single
+	// net whose weight is the sum of the originals. Multilevel coarsening
+	// enables this to keep coarse hypergraphs small.
+	MergeParallelNets bool
+}
+
+// Contract builds the coarse hypergraph induced by the clustering clusterOf,
+// which maps each vertex of h to a cluster id in [0, numClusters). Cluster
+// weights are the sums of member weights in every resource; nets are
+// projected onto clusters, with pins collapsed to distinct clusters and nets
+// spanning fewer than two clusters dropped. A cluster is marked as a pad only
+// when all of its members are pads.
+//
+// The returned NetMap maps each original net to its coarse net id, or -1 when
+// the net was dropped (or merged into another, when MergeParallelNets is set,
+// in which case it maps to the survivor).
+func Contract(h *Hypergraph, clusterOf []int32, numClusters int, opts ContractOptions) (*Hypergraph, []int32, error) {
+	if len(clusterOf) != h.numVerts {
+		return nil, nil, fmt.Errorf("hypergraph: clusterOf has %d entries for %d vertices", len(clusterOf), h.numVerts)
+	}
+	r := h.NumResources()
+	coarse := &Hypergraph{
+		numVerts:    numClusters,
+		weights:     make([][]int64, r),
+		totalWeight: make([]int64, r),
+		isPad:       make([]bool, numClusters),
+	}
+	for i := 0; i < r; i++ {
+		coarse.weights[i] = make([]int64, numClusters)
+	}
+	seenMember := make([]bool, numClusters)
+	allPads := make([]bool, numClusters)
+	for i := range allPads {
+		allPads[i] = true
+	}
+	for v := 0; v < h.numVerts; v++ {
+		c := clusterOf[v]
+		if c < 0 || int(c) >= numClusters {
+			return nil, nil, fmt.Errorf("hypergraph: vertex %d mapped to cluster %d outside [0,%d)", v, c, numClusters)
+		}
+		seenMember[c] = true
+		if !h.IsPad(v) {
+			allPads[c] = false
+		}
+		for i := 0; i < r; i++ {
+			coarse.weights[i][c] += h.weights[i][v]
+		}
+	}
+	for c := 0; c < numClusters; c++ {
+		if !seenMember[c] {
+			return nil, nil, fmt.Errorf("hypergraph: cluster %d has no members", c)
+		}
+		coarse.isPad[c] = allPads[c]
+	}
+	for i := 0; i < r; i++ {
+		coarse.totalWeight[i] = h.totalWeight[i]
+	}
+
+	// Project nets.
+	netMap := make([]int32, h.numNets)
+	mark := make([]int32, numClusters)
+	for i := range mark {
+		mark[i] = -1
+	}
+	var (
+		coarsePins    []int32
+		coarseOffsets = []int32{0}
+		coarseWeights []int64
+		scratch       []int32
+	)
+	// key of a sorted pin list, for parallel-net merging.
+	byKey := map[string]int32{}
+	keyBuf := make([]byte, 0, 64)
+	for e := 0; e < h.numNets; e++ {
+		scratch = scratch[:0]
+		for _, v := range h.Pins(e) {
+			c := clusterOf[v]
+			if mark[c] != int32(e) {
+				mark[c] = int32(e)
+				scratch = append(scratch, c)
+			}
+		}
+		if len(scratch) < 2 {
+			netMap[e] = -1
+			continue
+		}
+		if opts.MergeParallelNets {
+			sort.Slice(scratch, func(i, j int) bool { return scratch[i] < scratch[j] })
+			keyBuf = keyBuf[:0]
+			for _, c := range scratch {
+				keyBuf = append(keyBuf, byte(c), byte(c>>8), byte(c>>16), byte(c>>24))
+			}
+			if id, ok := byKey[string(keyBuf)]; ok {
+				coarseWeights[id] += h.netWeights[e]
+				netMap[e] = id
+				continue
+			}
+			byKey[string(keyBuf)] = int32(len(coarseWeights))
+		}
+		netMap[e] = int32(len(coarseWeights))
+		coarsePins = append(coarsePins, scratch...)
+		coarseOffsets = append(coarseOffsets, int32(len(coarsePins)))
+		coarseWeights = append(coarseWeights, h.netWeights[e])
+	}
+	coarse.numNets = len(coarseWeights)
+	coarse.netOffsets = coarseOffsets
+	coarse.netPins = coarsePins
+	coarse.netWeights = coarseWeights
+	buildVertexCSR(coarse)
+	return coarse, netMap, nil
+}

@@ -1,0 +1,267 @@
+// Package multilevel implements the multilevel FM hypergraph partitioner the
+// paper uses as its testbed engine: heavy-edge-matching coarsening that
+// respects fixed vertices, random feasible initial solutions at the coarsest
+// level, and FM refinement during uncoarsening (CLIP by default, no
+// V-cycling), plus a multistart driver.
+package multilevel
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"repro/internal/hypergraph"
+	"repro/internal/partition"
+)
+
+// level is one entry of the coarsening stack.
+type level struct {
+	problem   *partition.Problem
+	clusterOf []int32 // maps this level's vertices to the next-coarser level
+}
+
+// hugeNetThreshold: nets with more pins than this are ignored while scoring
+// matches (they carry almost no clustering signal and cost quadratic time).
+const hugeNetThreshold = 50
+
+// Scheme selects the coarsening algorithm.
+type Scheme int
+
+const (
+	// HeavyEdge is pairwise heavy-edge matching (the default; what the
+	// paper's engine and MLC use).
+	HeavyEdge Scheme = iota
+	// Hyperedge contracts entire small nets whose pins are all unmatched,
+	// heaviest-first (hMetis's EC scheme).
+	Hyperedge
+	// ModifiedHyperedge is Hyperedge plus a second pass contracting the
+	// unmatched pins of partially matched nets (hMetis's MHEC scheme).
+	ModifiedHyperedge
+)
+
+// String returns the scheme name.
+func (s Scheme) String() string {
+	switch s {
+	case HeavyEdge:
+		return "heavy-edge"
+	case Hyperedge:
+		return "hyperedge"
+	case ModifiedHyperedge:
+		return "modified-hyperedge"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// matchLevel performs one round of heavy-edge matching on p and returns the
+// coarser problem plus the cluster map, or ok=false when the level shrank
+// too little to be useful.
+//
+// The match score between v and u is sum over shared nets of w(e)/(|e|-1)
+// (scaled to integers), the "heavy edge" metric of multilevel partitioners.
+// Fixed and OR-region vertices only match when their allowed masks
+// intersect; the merged cluster carries the intersection, so a cluster
+// containing a terminal stays a terminal.
+//
+// When part is non-nil (V-cycling's restricted coarsening), vertices only
+// match within the same part of the current solution, so the solution
+// projects exactly onto every coarse level.
+func matchLevel(p *partition.Problem, part partition.Assignment, maxClusterWeight int64, minShrink float64, rng *rand.Rand) (*partition.Problem, []int32, bool) {
+	h := p.H
+	nv := h.NumVertices()
+	matchOf := make([]int32, nv)
+	for i := range matchOf {
+		matchOf[i] = -1
+	}
+	// Scratch for neighbour scores, stamped by current vertex.
+	score := make([]int64, nv)
+	stamp := make([]int32, nv)
+	cur := int32(0)
+
+	order := rng.Perm(nv)
+	matched := 0
+	for _, v := range order {
+		if matchOf[v] >= 0 {
+			continue
+		}
+		cur++
+		var cand []int32
+		for _, en := range h.NetsOf(v) {
+			pins := h.Pins(int(en))
+			if len(pins) > hugeNetThreshold {
+				continue
+			}
+			// Score scaled by 1e6 to keep integer arithmetic.
+			s := 1_000_000 * h.NetWeight(int(en)) / int64(len(pins)-1)
+			for _, u := range pins {
+				if int(u) == v || matchOf[u] >= 0 {
+					continue
+				}
+				if stamp[u] != cur {
+					stamp[u] = cur
+					score[u] = 0
+					cand = append(cand, u)
+				}
+				score[u] += s
+			}
+		}
+		var best int32 = -1
+		var bestScore int64 = -1
+		mv := p.MaskOf(v)
+		for _, u := range cand {
+			if score[u] <= bestScore {
+				continue
+			}
+			if mv.Intersect(p.MaskOf(int(u))) == 0 {
+				continue
+			}
+			if part != nil && part[v] != part[u] {
+				continue
+			}
+			if h.Weight(v)+h.Weight(int(u)) > maxClusterWeight {
+				continue
+			}
+			best, bestScore = u, score[u]
+		}
+		if best >= 0 {
+			matchOf[v] = best
+			matchOf[best] = int32(v)
+			matched += 2
+		}
+	}
+	if matched == 0 {
+		return nil, nil, false
+	}
+	newCount := nv - matched/2
+	if float64(newCount) > minShrink*float64(nv) {
+		return nil, nil, false
+	}
+	clusterOf := make([]int32, nv)
+	for i := range clusterOf {
+		clusterOf[i] = -1
+	}
+	next := int32(0)
+	for v := 0; v < nv; v++ {
+		if clusterOf[v] >= 0 {
+			continue
+		}
+		clusterOf[v] = next
+		if m := matchOf[v]; m >= 0 {
+			clusterOf[m] = next
+		}
+		next++
+	}
+	return contractProblem(p, clusterOf, int(next))
+}
+
+// contractProblem builds the coarse problem from a cluster map, carrying
+// intersected masks.
+func contractProblem(p *partition.Problem, clusterOf []int32, numClusters int) (*partition.Problem, []int32, bool) {
+	coarseH, _, err := hypergraph.Contract(p.H, clusterOf, numClusters, hypergraph.ContractOptions{MergeParallelNets: true})
+	if err != nil {
+		// Contract only fails on malformed inputs, which the matchers never
+		// produce; treat as "cannot coarsen further".
+		return nil, nil, false
+	}
+	coarse := &partition.Problem{H: coarseH, K: p.K, Balance: p.Balance}
+	if p.Allowed != nil {
+		masks := make([]partition.Mask, numClusters)
+		all := partition.AllParts(p.K)
+		for i := range masks {
+			masks[i] = all
+		}
+		for v := 0; v < p.H.NumVertices(); v++ {
+			masks[clusterOf[v]] = masks[clusterOf[v]].Intersect(p.MaskOf(v))
+		}
+		coarse.Allowed = masks
+	}
+	return coarse, clusterOf, true
+}
+
+// hyperedgeLevel performs one round of (modified) hyperedge coarsening:
+// nets are visited heaviest-first (ties broken smaller-first, then randomly)
+// and contracted whole when all pins are unmatched, mask-compatible,
+// same-part (when part is non-nil) and within the weight cap. The modified
+// variant then contracts the unmatched-pin subsets of remaining nets.
+func hyperedgeLevel(p *partition.Problem, part partition.Assignment, maxClusterWeight int64, minShrink float64, modified bool, rng *rand.Rand) (*partition.Problem, []int32, bool) {
+	h := p.H
+	nv := h.NumVertices()
+	clusterOf := make([]int32, nv)
+	for i := range clusterOf {
+		clusterOf[i] = -1
+	}
+	next := int32(0)
+	merged := 0
+
+	tryContract := func(pins []int32, requireAllFree bool) {
+		group := pins
+		if !requireAllFree {
+			group = group[:0:0]
+			for _, v := range pins {
+				if clusterOf[v] < 0 {
+					group = append(group, v)
+				}
+			}
+		}
+		if len(group) < 2 {
+			return
+		}
+		mask := partition.AllParts(p.K)
+		var weight int64
+		for _, v := range group {
+			if requireAllFree && clusterOf[v] >= 0 {
+				return
+			}
+			mask = mask.Intersect(p.MaskOf(int(v)))
+			weight += h.Weight(int(v))
+			if part != nil && part[v] != part[group[0]] {
+				return
+			}
+		}
+		if mask == 0 || weight > maxClusterWeight {
+			return
+		}
+		for _, v := range group {
+			clusterOf[v] = next
+		}
+		next++
+		merged += len(group) - 1
+	}
+
+	order := rng.Perm(h.NumNets())
+	sort.SliceStable(order, func(i, j int) bool {
+		ei, ej := order[i], order[j]
+		if h.NetWeight(ei) != h.NetWeight(ej) {
+			return h.NetWeight(ei) > h.NetWeight(ej)
+		}
+		return h.NetSize(ei) < h.NetSize(ej)
+	})
+	for _, e := range order {
+		if h.NetSize(e) > hugeNetThreshold {
+			continue
+		}
+		tryContract(h.Pins(e), true)
+	}
+	if modified {
+		for _, e := range order {
+			if h.NetSize(e) > hugeNetThreshold {
+				continue
+			}
+			tryContract(h.Pins(e), false)
+		}
+	}
+	if merged == 0 {
+		return nil, nil, false
+	}
+	newCount := nv - merged
+	if float64(newCount) > minShrink*float64(nv) {
+		return nil, nil, false
+	}
+	for v := 0; v < nv; v++ {
+		if clusterOf[v] < 0 {
+			clusterOf[v] = next
+			next++
+		}
+	}
+	return contractProblem(p, clusterOf, int(next))
+}

@@ -1,0 +1,132 @@
+package multilevel
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand/v2"
+
+	"repro/internal/hypergraph"
+	"repro/internal/partition"
+)
+
+// RecursiveBisect partitions a k-way problem (k a power of two) by recursive
+// multilevel bisection, the standard construction for top-down placement.
+// Fixed and OR-region masks are honoured at every level: a vertex whose mask
+// only intersects one side of the current split is a fixed terminal for that
+// bisection. Nets that leave the current block are dropped from the
+// subproblem (callers who want terminal propagation should model it with
+// explicit fixed pad vertices, as internal/benchgen does).
+func RecursiveBisect(p *partition.Problem, cfg Config, rng *rand.Rand) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if bits.OnesCount(uint(p.K)) != 1 {
+		return nil, fmt.Errorf("multilevel: RecursiveBisect requires k to be a power of two, got %d", p.K)
+	}
+	nv := p.H.NumVertices()
+	out := make(partition.Assignment, nv)
+	vertexIDs := make([]int32, nv)
+	for i := range vertexIDs {
+		vertexIDs[i] = int32(i)
+	}
+	levels := 0
+	if err := bisectRange(p, cfg, rng, p.H, vertexIDs, 0, p.K, out, &levels); err != nil {
+		return nil, err
+	}
+	return &Result{
+		Assignment: out,
+		Cut:        partition.Cut(p.H, out),
+		Levels:     levels,
+		Starts:     1,
+	}, nil
+}
+
+// bisectRange assigns the vertices of sub (whose original ids are origIDs)
+// to parts in [lo, hi), writing results into out.
+func bisectRange(root *partition.Problem, cfg Config, rng *rand.Rand, sub *hypergraph.Hypergraph, origIDs []int32, lo, hi int, out partition.Assignment, levels *int) error {
+	if hi-lo == 1 {
+		for _, ov := range origIDs {
+			out[ov] = int8(lo)
+		}
+		return nil
+	}
+	mid := (lo + hi) / 2
+
+	// Side masks in the root's part space.
+	var leftMask, rightMask partition.Mask
+	for q := lo; q < mid; q++ {
+		leftMask = leftMask.With(q)
+	}
+	for q := mid; q < hi; q++ {
+		rightMask = rightMask.With(q)
+	}
+
+	nr := sub.NumResources()
+	bal := partition.Balance{Min: make([][]int64, 2), Max: make([][]int64, 2)}
+	for s := 0; s < 2; s++ {
+		bal.Min[s] = make([]int64, nr)
+		bal.Max[s] = make([]int64, nr)
+	}
+	for q := lo; q < hi; q++ {
+		s := 0
+		if q >= mid {
+			s = 1
+		}
+		for r := 0; r < nr; r++ {
+			bal.Min[s][r] += root.Balance.Min[q][r]
+			bal.Max[s][r] += root.Balance.Max[q][r]
+		}
+	}
+
+	bp := &partition.Problem{H: sub, K: 2, Balance: bal}
+	needMasks := root.Allowed != nil
+	if needMasks {
+		masks := make([]partition.Mask, sub.NumVertices())
+		for v := range masks {
+			var m partition.Mask
+			rm := root.MaskOf(int(origIDs[v]))
+			if rm.Intersect(leftMask) != 0 {
+				m = m.With(0)
+			}
+			if rm.Intersect(rightMask) != 0 {
+				m = m.With(1)
+			}
+			masks[v] = m
+		}
+		bp.Allowed = masks
+	}
+	res, err := Partition(bp, cfg, rng)
+	if err != nil {
+		return fmt.Errorf("multilevel: bisecting parts [%d,%d): %w", lo, hi, err)
+	}
+	if res.Levels > *levels {
+		*levels = res.Levels
+	}
+
+	for s := 0; s < 2; s++ {
+		keep := make([]bool, sub.NumVertices())
+		count := 0
+		for v := range keep {
+			if int(res.Assignment[v]) == s {
+				keep[v] = true
+				count++
+			}
+		}
+		ind, err := hypergraph.InducedSubgraph(sub, keep)
+		if err != nil {
+			return err
+		}
+		childIDs := make([]int32, count)
+		for sv, pv := range ind.VertexOf {
+			childIDs[sv] = origIDs[pv]
+		}
+		childLo, childHi := lo, mid
+		if s == 1 {
+			childLo, childHi = mid, hi
+		}
+		if err := bisectRange(root, cfg, rng, ind.Sub, childIDs, childLo, childHi, out, levels); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package multilevel
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/fm"
+	"repro/internal/partition"
+)
+
+// VCycle refines an existing feasible solution with one V-cycle in the style
+// of hMetis: the hypergraph is re-coarsened *restricted* to the current
+// partition (vertices only merge within their part, so the solution projects
+// exactly onto every level), then refined level by level from the coarsest
+// projection of the current solution.
+//
+// The paper's engine deliberately omits V-cycling ("a net loss in terms of
+// overall cost-runtime profile"); it is provided here both for completeness
+// and so that the claim itself can be measured (see BenchmarkVCycleAblation).
+// It returns the improved assignment and cut; the input assignment is not
+// modified.
+func VCycle(p *partition.Problem, a partition.Assignment, cfg Config, rng *rand.Rand) (*Result, error) {
+	if p.K != 2 {
+		return nil, fmt.Errorf("multilevel: VCycle requires k=2, got k=%d", p.K)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Feasible(a); err != nil {
+		return nil, fmt.Errorf("multilevel: VCycle input: %w", err)
+	}
+	cfg = cfg.effective()
+	maxCluster := p.Balance.Max[0][0] / 20
+	if maxCluster < 1 {
+		maxCluster = 1
+	}
+
+	// Restricted coarsening stack; each level carries the projection of a.
+	type vlevel struct {
+		problem   *partition.Problem
+		clusterOf []int32
+		sol       partition.Assignment
+	}
+	levels := []vlevel{{problem: p, sol: a.Clone()}}
+	for len(levels) < cfg.MaxLevels {
+		curr := levels[len(levels)-1]
+		if movableCount(curr.problem) <= cfg.CoarsestSize {
+			break
+		}
+		coarse, clusterOf, ok := coarsenLevel(cfg.Scheme, curr.problem, curr.sol, maxCluster, cfg.ClusteringRatio, rng)
+		if !ok {
+			break
+		}
+		coarseSol := make(partition.Assignment, coarse.H.NumVertices())
+		for v, c := range clusterOf {
+			coarseSol[c] = curr.sol[v]
+		}
+		levels[len(levels)-1].clusterOf = clusterOf
+		levels = append(levels, vlevel{problem: coarse, sol: coarseSol})
+	}
+
+	fmCfg := fm.Config{Policy: cfg.Policy, MaxPassFraction: cfg.MaxPassFraction, MaxPasses: cfg.RefineMaxPasses}
+	sol := levels[len(levels)-1].sol
+	for lvl := len(levels) - 1; lvl >= 0; lvl-- {
+		res, err := fm.Bipartition(levels[lvl].problem, sol, fmCfg)
+		if err != nil {
+			return nil, fmt.Errorf("multilevel: V-cycle refining level %d: %w", lvl, err)
+		}
+		sol = res.Assignment
+		if lvl > 0 {
+			sol = project(sol, levels[lvl-1].clusterOf)
+		}
+	}
+	return &Result{
+		Assignment: sol,
+		Cut:        partition.Cut(p.H, sol),
+		Levels:     len(levels) - 1,
+		Starts:     1,
+	}, nil
+}
+
+// PartitionWithVCycles runs Partition followed by up to n V-cycles, stopping
+// early when a cycle fails to improve the cut.
+func PartitionWithVCycles(p *partition.Problem, cfg Config, n int, rng *rand.Rand) (*Result, error) {
+	res, err := Partition(p, cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		vres, err := VCycle(p, res.Assignment, cfg, rng)
+		if err != nil {
+			return nil, err
+		}
+		if vres.Cut >= res.Cut {
+			break
+		}
+		res = vres
+	}
+	return res, nil
+}

@@ -1,0 +1,126 @@
+package partition_test
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/partition"
+)
+
+func TestConstrainednessFreeInstance(t *testing.T) {
+	h := grid(10)
+	p := partition.NewBipartition(h, 0.1)
+	rep := partition.Constrainedness(p)
+	if rep.FixedVertexFraction != 0 || rep.ConstrainedNetFraction != 0 ||
+		rep.ConflictNetFraction != 0 || rep.TouchedFreeFraction != 0 || rep.ForcedCut != 0 {
+		t.Errorf("free instance not all-zero: %+v", rep)
+	}
+}
+
+func TestConstrainednessValues(t *testing.T) {
+	// grid(2): 4 vertices 0,1 (top), 2,3 (bottom); nets: (0,1), (2,3),
+	// (0,2), (1,3) — 4 unit nets.
+	h := grid(2)
+	p := partition.NewBipartition(h, 0.5)
+	p.Fix(0, 0)
+	p.Fix(3, 1)
+	rep := partition.Constrainedness(p)
+	if rep.FixedVertexFraction != 0.5 {
+		t.Errorf("FixedVertexFraction = %v", rep.FixedVertexFraction)
+	}
+	// All 4 nets touch vertex 0 or 3.
+	if rep.ConstrainedNetFraction != 1.0 {
+		t.Errorf("ConstrainedNetFraction = %v", rep.ConstrainedNetFraction)
+	}
+	// No net contains both fixed vertices, so nothing is forced cut.
+	if rep.ConflictNetFraction != 0 || rep.ForcedCut != 0 {
+		t.Errorf("conflict: %+v", rep)
+	}
+	// Free vertices 1 and 2 both share nets with terminals.
+	if rep.TouchedFreeFraction != 1.0 {
+		t.Errorf("TouchedFreeFraction = %v", rep.TouchedFreeFraction)
+	}
+	// Now force a conflict: net (0,1) with 1 fixed opposite 0.
+	p.Fix(1, 1)
+	rep = partition.Constrainedness(p)
+	if rep.ForcedCut != 1 {
+		t.Errorf("ForcedCut = %d, want 1 (net {0,1})", rep.ForcedCut)
+	}
+}
+
+func TestConstrainednessForcedCutIsLowerBound(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 51))
+		h := grid(4 + int(seed%6))
+		p := partition.NewBipartition(h, 0.5)
+		for v := 0; v < h.NumVertices(); v++ {
+			if rng.IntN(3) == 0 {
+				p.Fix(v, rng.IntN(2))
+			}
+		}
+		rep := partition.Constrainedness(p)
+		// Any assignment consistent with the fixture has cut >= ForcedCut.
+		a := make(partition.Assignment, h.NumVertices())
+		for v := range a {
+			if part, ok := p.FixedPart(v); ok {
+				a[v] = int8(part)
+			} else {
+				a[v] = int8(rng.IntN(2))
+			}
+		}
+		return partition.Cut(h, a) >= rep.ForcedCut
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConstrainednessInvariantUnderTerminalClustering is the property the
+// paper's conclusion calls for: the net-based measures must not change when
+// all terminals of a part are merged into one, because that reduction
+// preserves instance difficulty.
+func TestConstrainednessInvariantUnderTerminalClustering(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 52))
+		h := grid(5 + int(seed%8))
+		p := partition.NewBipartition(h, 0.5)
+		any := false
+		for v := 0; v < h.NumVertices(); v++ {
+			if rng.IntN(3) == 0 {
+				p.Fix(v, rng.IntN(2))
+				any = true
+			}
+		}
+		if !any {
+			return true
+		}
+		before := partition.Constrainedness(p)
+		red, err := partition.ClusterTerminals(p)
+		if err != nil {
+			return false
+		}
+		after := partition.Constrainedness(red.Problem)
+		const eps = 1e-12
+		if math.Abs(before.ConstrainedNetFraction-after.ConstrainedNetFraction) > eps {
+			return false
+		}
+		if math.Abs(before.ConflictNetFraction-after.ConflictNetFraction) > eps {
+			return false
+		}
+		if math.Abs(before.TouchedFreeFraction-after.TouchedFreeFraction) > eps {
+			return false
+		}
+		return before.ForcedCut == after.ForcedCut
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstrainednessEmpty(t *testing.T) {
+	var hb = grid(2)
+	p := &partition.Problem{H: hb, K: 2, Balance: partition.NewBisection(hb, 0.5)}
+	_ = partition.Constrainedness(p) // no panic on minimal problem
+}

@@ -1,0 +1,68 @@
+// Package partition defines partitioning problems over hypergraphs: k-way
+// assignments, balance constraints (possibly over multiple resources), fixed
+// and OR-region vertex constraints, and cut objectives.
+//
+// The paper's central object is a partitioning instance with *fixed
+// terminals*: a hypergraph in which some vertices are pre-assigned to
+// partitions (or, in the proposed benchmark format, to a set of allowed
+// partitions, interpreted as an "or"). Problem captures exactly that.
+package partition
+
+import "math/bits"
+
+// MaxParts is the largest supported number of parts, bounded by the Mask
+// bitset width.
+const MaxParts = 64
+
+// Mask is a set of allowed parts for a vertex, one bit per part. A vertex
+// with exactly one allowed part is fixed; a vertex allowed in every part is
+// free; anything in between is an OR-region constraint in the sense of the
+// paper's proposed benchmark format (e.g. a propagated terminal fixed in
+// either left-side quadrant of a quadrisection).
+type Mask uint64
+
+// AllParts returns the mask allowing every part in [0, k).
+func AllParts(k int) Mask {
+	if k >= 64 {
+		return ^Mask(0)
+	}
+	return Mask(1)<<k - 1
+}
+
+// Single returns the mask allowing only part p.
+func Single(p int) Mask { return Mask(1) << p }
+
+// Contains reports whether part p is allowed.
+func (m Mask) Contains(p int) bool { return m&(Mask(1)<<p) != 0 }
+
+// Count returns the number of allowed parts.
+func (m Mask) Count() int { return bits.OnesCount64(uint64(m)) }
+
+// OnlyPart returns the single allowed part and true when the mask fixes the
+// vertex to exactly one part, and (-1, false) otherwise.
+func (m Mask) OnlyPart() (int, bool) {
+	if m.Count() != 1 {
+		return -1, false
+	}
+	return bits.TrailingZeros64(uint64(m)), true
+}
+
+// With returns m with part p added.
+func (m Mask) With(p int) Mask { return m | Mask(1)<<p }
+
+// Intersect returns the parts allowed by both masks. Merging two vertices
+// during clustering intersects their masks; an empty result means the merge
+// is illegal (vertices fixed in different parts).
+func (m Mask) Intersect(o Mask) Mask { return m & o }
+
+// Parts returns the allowed parts in increasing order, considering only
+// parts below k.
+func (m Mask) Parts(k int) []int {
+	out := make([]int, 0, m.Count())
+	for p := 0; p < k && p < MaxParts; p++ {
+		if m.Contains(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}

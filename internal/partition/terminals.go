@@ -1,0 +1,95 @@
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/hypergraph"
+)
+
+// ClusterTerminalsResult is the outcome of ClusterTerminals.
+type ClusterTerminalsResult struct {
+	Problem *Problem
+	// ClusterOf maps original vertices to vertices of the reduced problem.
+	ClusterOf []int32
+	// TerminalOf maps each part to its merged terminal vertex in the reduced
+	// problem, or -1 when the part had no fixed vertices.
+	TerminalOf []int32
+}
+
+// ClusterTerminals applies the reduction observed in the paper's conclusion:
+// a partitioning instance with an arbitrary number of fixed terminals is
+// equivalent to one with at most one terminal per part, obtained by
+// clustering all vertices fixed in a given part into a single terminal.
+// Free and OR-region vertices are left as singletons.
+//
+// The reduced problem has the same balance bounds; cut values of
+// corresponding assignments are identical (see the property test).
+func ClusterTerminals(p *Problem) (*ClusterTerminalsResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	nv := p.H.NumVertices()
+	clusterOf := make([]int32, nv)
+	terminalOf := make([]int32, p.K)
+	for i := range terminalOf {
+		terminalOf[i] = -1
+	}
+	next := int32(0)
+	// First pass: one cluster per part that has fixed vertices, in part order
+	// of first appearance.
+	for v := 0; v < nv; v++ {
+		if part, ok := p.FixedPart(v); ok {
+			if terminalOf[part] < 0 {
+				terminalOf[part] = next
+				next++
+			}
+			clusterOf[v] = terminalOf[part]
+		} else {
+			clusterOf[v] = -1 // assigned below
+		}
+	}
+	for v := 0; v < nv; v++ {
+		if clusterOf[v] < 0 {
+			clusterOf[v] = next
+			next++
+		}
+	}
+	coarse, _, err := hypergraph.Contract(p.H, clusterOf, int(next), hypergraph.ContractOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("partition: clustering terminals: %w", err)
+	}
+	reduced := &Problem{H: coarse, K: p.K, Balance: p.Balance}
+	reduced.ensureAllowed()
+	for v := 0; v < nv; v++ {
+		reduced.Allowed[clusterOf[v]] = reduced.Allowed[clusterOf[v]].Intersect(p.MaskOf(v))
+	}
+	if err := reduced.Validate(); err != nil {
+		return nil, fmt.Errorf("partition: reduced problem invalid: %w", err)
+	}
+	return &ClusterTerminalsResult{Problem: reduced, ClusterOf: clusterOf, TerminalOf: terminalOf}, nil
+}
+
+// Project maps an assignment of the reduced problem back to the original
+// vertices.
+func (r *ClusterTerminalsResult) Project(reduced Assignment) Assignment {
+	out := make(Assignment, len(r.ClusterOf))
+	for v, c := range r.ClusterOf {
+		out[v] = reduced[c]
+	}
+	return out
+}
+
+// Reduce maps an assignment of the original problem to the reduced problem.
+// All vertices in a cluster must agree; fixed clusters take their fixed part.
+func (r *ClusterTerminalsResult) Reduce(original Assignment) (Assignment, error) {
+	out := make(Assignment, r.Problem.H.NumVertices())
+	set := make([]bool, len(out))
+	for v, c := range r.ClusterOf {
+		if set[c] && out[c] != original[v] {
+			return nil, fmt.Errorf("partition: vertices in cluster %d assigned to different parts", c)
+		}
+		out[c] = original[v]
+		set[c] = true
+	}
+	return out, nil
+}

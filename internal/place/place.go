@@ -1,0 +1,275 @@
+// Package place implements a top-down recursive-bisection standard-cell
+// placer in the Dunlop–Kernighan tradition: regions are bisected by the
+// multilevel min-cut partitioner, external nets are propagated onto region
+// boundaries as fixed terminals, and recursion bottoms out by spreading the
+// few remaining cells across the region.
+//
+// The placer exists because the paper derives its fixed-terminals benchmark
+// suite from actual placements (Section IV); it is also the context that
+// produces fixed-terminal partitioning instances in the first place.
+package place
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/hypergraph"
+	"repro/internal/multilevel"
+	"repro/internal/partition"
+)
+
+// Config controls the placer.
+type Config struct {
+	// ML configures the multilevel partitioner used for each bisection.
+	ML multilevel.Config
+	// Tolerance is the per-bisection balance tolerance (default 0.1; looser
+	// than the paper's 2% partitioning experiments because placement splits
+	// must track region capacity, not exact bisection).
+	Tolerance float64
+	// MinBlockCells stops recursion when a region holds at most this many
+	// cells (default 8).
+	MinBlockCells int
+	// FixedX/FixedY pin vertices (typically pads) to chip coordinates; use
+	// NaN entries (or nil slices) for movable vertices.
+	FixedX, FixedY []float64
+	// Width, Height are the chip dimensions (default: unit square scaled to
+	// sqrt of total area).
+	Width, Height float64
+}
+
+// Placement is the result of Place: a position for every vertex.
+type Placement struct {
+	H             *hypergraph.Hypergraph
+	X, Y          []float64
+	Width, Height float64
+}
+
+// HPWL returns the total half-perimeter wirelength of the placement.
+func (pl *Placement) HPWL() float64 {
+	var total float64
+	for e := 0; e < pl.H.NumNets(); e++ {
+		pins := pl.H.Pins(e)
+		minX, maxX := math.Inf(1), math.Inf(-1)
+		minY, maxY := math.Inf(1), math.Inf(-1)
+		for _, v := range pins {
+			x, y := pl.X[v], pl.Y[v]
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+		total += (maxX - minX) + (maxY - minY)
+	}
+	return total
+}
+
+type region struct {
+	x0, y0, x1, y1 float64
+	cells          []int32 // movable vertices confined to this region
+}
+
+func (r region) width() float64  { return r.x1 - r.x0 }
+func (r region) height() float64 { return r.y1 - r.y0 }
+func (r region) cx() float64     { return (r.x0 + r.x1) / 2 }
+func (r region) cy() float64     { return (r.y0 + r.y1) / 2 }
+
+// Place computes a top-down min-cut placement of h.
+func Place(h *hypergraph.Hypergraph, cfg Config, rng *rand.Rand) (*Placement, error) {
+	if cfg.Tolerance <= 0 {
+		cfg.Tolerance = 0.1
+	}
+	if cfg.MinBlockCells <= 0 {
+		cfg.MinBlockCells = 8
+	}
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		side := math.Sqrt(float64(h.TotalWeight()))
+		if side <= 0 {
+			side = math.Sqrt(float64(h.NumVertices())) + 1
+		}
+		cfg.Width, cfg.Height = side, side
+	}
+	nv := h.NumVertices()
+	pl := &Placement{
+		H:     h,
+		X:     make([]float64, nv),
+		Y:     make([]float64, nv),
+		Width: cfg.Width, Height: cfg.Height,
+	}
+	var rootCells []int32
+	for v := 0; v < nv; v++ {
+		fx, fy := math.NaN(), math.NaN()
+		if cfg.FixedX != nil && v < len(cfg.FixedX) {
+			fx = cfg.FixedX[v]
+		}
+		if cfg.FixedY != nil && v < len(cfg.FixedY) {
+			fy = cfg.FixedY[v]
+		}
+		if !math.IsNaN(fx) && !math.IsNaN(fy) {
+			pl.X[v], pl.Y[v] = clamp(fx, 0, cfg.Width), clamp(fy, 0, cfg.Height)
+		} else {
+			pl.X[v], pl.Y[v] = cfg.Width/2, cfg.Height/2
+			rootCells = append(rootCells, int32(v))
+		}
+	}
+	queue := []region{{0, 0, cfg.Width, cfg.Height, rootCells}}
+	for len(queue) > 0 {
+		r := queue[0]
+		queue = queue[1:]
+		if len(r.cells) <= cfg.MinBlockCells {
+			spreadCells(pl, r)
+			continue
+		}
+		left, right, err := bisectRegion(pl, r, cfg, rng)
+		if err != nil {
+			// A macro-dominated region can make the bisection infeasible at
+			// the configured tolerance; loosen progressively, and as a last
+			// resort stop recursing and spread the cells in place.
+			loose := cfg
+			for tol := cfg.Tolerance * 2; err != nil && tol <= 0.5; tol *= 2 {
+				loose.Tolerance = tol
+				left, right, err = bisectRegion(pl, r, loose, rng)
+			}
+			if err != nil {
+				spreadCells(pl, r)
+				continue
+			}
+		}
+		for _, child := range []region{left, right} {
+			for _, v := range child.cells {
+				pl.X[v], pl.Y[v] = child.cx(), child.cy()
+			}
+			queue = append(queue, child)
+		}
+	}
+	return pl, nil
+}
+
+// bisectRegion splits r perpendicular to its longer side using min-cut
+// bipartitioning with propagated terminals.
+func bisectRegion(pl *Placement, r region, cfg Config, rng *rand.Rand) (left, right region, err error) {
+	vertical := r.width() >= r.height() // vertical cutline splits left/right
+	if vertical {
+		mid := r.cx()
+		left = region{r.x0, r.y0, mid, r.y1, nil}
+		right = region{mid, r.y0, r.x1, r.y1, nil}
+	} else {
+		mid := r.cy()
+		left = region{r.x0, r.y0, r.x1, mid, nil}
+		right = region{r.x0, mid, r.x1, r.y1, nil}
+	}
+
+	h := pl.H
+	inRegion := make(map[int32]int32, len(r.cells)) // vertex -> sub id
+	b := hypergraph.NewBuilder(1)
+	b.DropSingletons = true
+	b.DedupPins = true
+	for i, v := range r.cells {
+		b.AddVertex(h.Weight(int(v)))
+		inRegion[v] = int32(i)
+	}
+	var masks []partition.Mask
+	free := partition.AllParts(2)
+	for range r.cells {
+		masks = append(masks, free)
+	}
+
+	// Collect nets touching the region; propagate external pins to the
+	// nearer half-region as zero-area fixed terminals (one per external
+	// net, at the consensus side of its external pins).
+	seen := make(map[int32]bool)
+	var pins []int
+	for _, v := range r.cells {
+		for _, en := range h.NetsOf(int(v)) {
+			if seen[en] {
+				continue
+			}
+			seen[en] = true
+			pins = pins[:0]
+			votes := 0 // >0 favours the `right` child
+			external := 0
+			for _, u := range h.Pins(int(en)) {
+				if su, ok := inRegion[u]; ok {
+					pins = append(pins, int(su))
+					continue
+				}
+				external++
+				if nearerSecond(pl, r, vertical, int(u)) {
+					votes++
+				} else {
+					votes--
+				}
+			}
+			if external > 0 {
+				side := 0
+				if votes > 0 {
+					side = 1
+				} else if votes == 0 {
+					side = rng.IntN(2)
+				}
+				t := b.AddVertex(0)
+				masks = append(masks, partition.Single(side))
+				pins = append(pins, t)
+			}
+			if len(pins) >= 2 {
+				b.AddNet(pins...)
+			}
+		}
+	}
+	sub, err := b.Build()
+	if err != nil {
+		return region{}, region{}, fmt.Errorf("place: building region subproblem: %w", err)
+	}
+	prob := &partition.Problem{
+		H:       sub,
+		K:       2,
+		Balance: partition.NewBisection(sub, cfg.Tolerance),
+		Allowed: masks,
+	}
+	res, err := multilevel.Partition(prob, cfg.ML, rng)
+	if err != nil {
+		return region{}, region{}, fmt.Errorf("place: bisecting region: %w", err)
+	}
+	for i, v := range r.cells {
+		if res.Assignment[i] == 0 {
+			left.cells = append(left.cells, v)
+		} else {
+			right.cells = append(right.cells, v)
+		}
+	}
+	return left, right, nil
+}
+
+// nearerSecond reports whether vertex u's current position is nearer the
+// second (right/top) child of r under the given cut direction.
+func nearerSecond(pl *Placement, r region, vertical bool, u int) bool {
+	if vertical {
+		return clamp(pl.X[u], r.x0, r.x1) >= r.cx()
+	}
+	return clamp(pl.Y[u], r.y0, r.y1) >= r.cy()
+}
+
+// spreadCells distributes a terminal region's cells on a small grid inside
+// the region.
+func spreadCells(pl *Placement, r region) {
+	n := len(r.cells)
+	if n == 0 {
+		return
+	}
+	cols := int(math.Ceil(math.Sqrt(float64(n))))
+	rows := (n + cols - 1) / cols
+	for i, v := range r.cells {
+		cx := i % cols
+		cy := i / cols
+		pl.X[v] = r.x0 + (float64(cx)+0.5)*r.width()/float64(cols)
+		pl.Y[v] = r.y0 + (float64(cy)+0.5)*r.height()/float64(rows)
+	}
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

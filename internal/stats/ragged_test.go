@@ -1,0 +1,20 @@
+package stats_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := &stats.Table{Header: []string{"a"}}
+	tb.Add(1, 2, 3) // longer than header
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	if buf.Len() == 0 {
+		t.Error("no output")
+	}
+}

@@ -1,0 +1,82 @@
+package stats_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestSummarize(t *testing.T) {
+	s := stats.Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 {
+		t.Errorf("N=%d Mean=%v", s.N, s.Mean)
+	}
+	if math.Abs(s.Std-2) > 1e-12 {
+		t.Errorf("Std = %v, want 2", s.Std)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := stats.Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.Std != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	if stats.Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+}
+
+func TestMinInt64(t *testing.T) {
+	if got := stats.MinInt64([]int64{5, -2, 9}); got != -2 {
+		t.Errorf("MinInt64 = %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic for empty input")
+		}
+	}()
+	stats.MinInt64(nil)
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &stats.Table{Header: []string{"name", "value"}}
+	tb.Add("alpha", 3.14159)
+	tb.Add("b", 42)
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") || !strings.Contains(lines[0], "value") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "3.14") {
+		t.Errorf("float formatting: %q", lines[2])
+	}
+	// Alignment: "alpha" column width 5.
+	if !strings.HasPrefix(lines[3], "b    ") {
+		t.Errorf("misaligned row: %q", lines[3])
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := &stats.Table{Header: []string{"a", "b"}}
+	tb.Add(1, 2)
+	var buf bytes.Buffer
+	if err := tb.CSV(&buf); err != nil {
+		t.Fatalf("CSV: %v", err)
+	}
+	if buf.String() != "a,b\n1,2\n" {
+		t.Errorf("CSV = %q", buf.String())
+	}
+}
