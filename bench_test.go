@@ -14,10 +14,12 @@
 package repro
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"math/rand/v2"
 	"os"
+	"runtime"
 	"strconv"
 	"sync"
 	"testing"
@@ -558,4 +560,92 @@ func TestBenchHarnessSmoke(t *testing.T) {
 	if len(res.Points) != 8 {
 		t.Fatalf("points = %d", len(res.Points))
 	}
+}
+
+// BenchmarkMultistart measures the deterministic multistart engine: one
+// serial Multistart baseline plus ParallelMultistart at several worker
+// counts, all computing the identical 8-start result. The first run also
+// writes BENCH_multistart.json, a committed baseline for tracking the
+// engine's throughput and the parallel driver's overhead across changes.
+func BenchmarkMultistart(b *testing.B) {
+	const starts = 8
+	nl := mustNetlist(b, "IBM01S", benchScale())
+	p := partition.NewBipartition(nl.H, 0.02)
+	runOnce := func(workers int) (*multilevel.Result, time.Duration) {
+		rng := rand.New(rand.NewPCG(1, 1))
+		t0 := time.Now()
+		var res *multilevel.Result
+		var err error
+		if workers == 0 {
+			res, err = multilevel.Multistart(p, multilevel.Config{}, starts, rng)
+		} else {
+			res, err = multilevel.ParallelMultistart(p, multilevel.Config{Workers: workers}, starts, rng)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res, time.Since(t0)
+	}
+	b.Run("serial", func(b *testing.B) {
+		var res *multilevel.Result
+		for i := 0; i < b.N; i++ {
+			res, _ = runOnce(0)
+		}
+		b.ReportMetric(float64(res.Cut), "cut")
+	})
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var res *multilevel.Result
+			for i := 0; i < b.N; i++ {
+				res, _ = runOnce(workers)
+			}
+			b.ReportMetric(float64(res.Cut), "cut")
+		})
+	}
+	multistartBaselineOnce.Do(func() {
+		base := multistartBaseline{
+			Instance:   "IBM01S",
+			Scale:      benchScale(),
+			Starts:     starts,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		}
+		res, dt := runOnce(0)
+		base.SerialNS = dt.Nanoseconds()
+		base.Cut = res.Cut
+		for _, workers := range []int{1, 2, 4, 8} {
+			pres, pdt := runOnce(workers)
+			if pres.Cut != res.Cut {
+				b.Fatalf("workers=%d cut %d != serial cut %d (determinism contract broken)",
+					workers, pres.Cut, res.Cut)
+			}
+			base.Parallel = append(base.Parallel, multistartSample{Workers: workers, NS: pdt.Nanoseconds()})
+		}
+		buf, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_multistart.json", append(buf, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+		fmt.Printf("wrote BENCH_multistart.json (serial %.1fms, cut %d)\n",
+			float64(base.SerialNS)/1e6, base.Cut)
+	})
+}
+
+var multistartBaselineOnce sync.Once
+
+// multistartBaseline is the schema of BENCH_multistart.json.
+type multistartBaseline struct {
+	Instance   string             `json:"instance"`
+	Scale      float64            `json:"scale"`
+	Starts     int                `json:"starts"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Cut        int64              `json:"cut"`
+	SerialNS   int64              `json:"serial_ns"`
+	Parallel   []multistartSample `json:"parallel"`
+}
+
+type multistartSample struct {
+	Workers int   `json:"workers"`
+	NS      int64 `json:"ns"`
 }

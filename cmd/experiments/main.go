@@ -4,7 +4,10 @@
 // Usage:
 //
 //	experiments -exp table1|fig1|fig2|table2|table3|table4|multiway|all
-//	            [-scale 0.25] [-trials 10] [-seed 1]
+//	            [-scale 0.25] [-trials 10] [-seed 1] [-workers 0]
+//
+// Independent experiment cells run on -workers goroutines (0 = GOMAXPROCS);
+// results are identical for every worker count.
 //
 // CPU numbers are host wall-clock; the paper's were measured on 1990s Sun
 // hardware, so only relative comparisons are meaningful.
@@ -26,14 +29,16 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment id: table1, fig1, fig2, table2, table3, table4, multiway, constraint, profile, starts or all")
-		scale  = flag.Float64("scale", 0.25, "scale factor for circuit sizes")
-		trials = flag.Int("trials", 10, "trials per data point (paper: 50)")
-		seed   = flag.Uint64("seed", 1, "random seed")
-		csvOut = flag.String("csv", "", "also write fig1/fig2 sweep data as CSV to this file")
+		exp     = flag.String("exp", "all", "experiment id: table1, fig1, fig2, table2, table3, table4, multiway, constraint, profile, starts or all")
+		scale   = flag.Float64("scale", 0.25, "scale factor for circuit sizes")
+		trials  = flag.Int("trials", 10, "trials per data point (paper: 50)")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		workers = flag.Int("workers", 0, "goroutines for independent cells (0 = GOMAXPROCS)")
+		csvOut  = flag.String("csv", "", "also write fig1/fig2 sweep data as CSV to this file")
 	)
 	flag.Parse()
 	csvPath = *csvOut
+	cellWorkers = *workers
 	if err := run(*exp, *scale, *trials, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
@@ -84,14 +89,18 @@ func table1() error {
 // csvPath, when set, receives the sweep data of figure runs as CSV.
 var csvPath string
 
+// cellWorkers bounds the goroutines running independent experiment cells.
+var cellWorkers int
+
 func figure(name string, scale float64, trials int, seed uint64) error {
 	nl, err := netlist(name, scale)
 	if err != nil {
 		return err
 	}
 	res, err := experiments.RunSweep(name, nl.H, experiments.SweepConfig{
-		Trials: trials,
-		Seed:   seed,
+		Trials:  trials,
+		Seed:    seed,
+		Workers: cellWorkers,
 	})
 	if err != nil {
 		return err
@@ -188,6 +197,7 @@ func multiway(scale float64, trials int, seed uint64) error {
 		Fractions: []float64{0, 0.05, 0.10, 0.20, 0.30, 0.50},
 		Trials:    trials,
 		Seed:      seed,
+		Workers:   cellWorkers,
 	})
 	if err != nil {
 		return err
@@ -204,6 +214,7 @@ func constraint(scale float64, trials int, seed uint64) error {
 		Fractions: []float64{0, 0.05, 0.10, 0.20, 0.30, 0.50},
 		Trials:    trials,
 		Seed:      seed,
+		Workers:   cellWorkers,
 	})
 	if err != nil {
 		return err
@@ -236,6 +247,7 @@ func starts(scale float64, trials int, seed uint64) error {
 		Fractions: []float64{0, 0.05, 0.10, 0.20, 0.30, 0.50},
 		Trials:    trials,
 		Seed:      seed,
+		Workers:   cellWorkers,
 	})
 	if err != nil {
 		return err
@@ -257,7 +269,7 @@ func placeNetlist(nl *gen.Netlist, seed uint64) (*place.Placement, error) {
 	}
 	return place.Place(nl.H, place.Config{
 		Width: float64(nl.GridSide), Height: float64(nl.GridSide),
-		FixedX: fx, FixedY: fy,
+		FixedX: fx, FixedY: fy, Workers: cellWorkers,
 	}, rand.New(rand.NewPCG(seed, 0x9ace)))
 }
 

@@ -5,7 +5,10 @@
 // Usage:
 //
 //	hpart -dir bench -base IBM01SA_L0_V [-engine ml|lifo|clip] [-starts 4]
-//	      [-cutoff 0.25] [-seed 1] [-out solution.sol]
+//	      [-cutoff 0.25] [-seed 1] [-workers 0] [-out solution.sol]
+//
+// With the ml engine, independent starts run on -workers goroutines
+// (0 = GOMAXPROCS); the result is identical for every worker count.
 package main
 
 import (
@@ -23,13 +26,14 @@ import (
 
 func main() {
 	var (
-		dir    = flag.String("dir", ".", "directory holding the benchmark bundle")
-		base   = flag.String("base", "", "bundle base name (required)")
-		engine = flag.String("engine", "ml", "partitioning engine: ml (multilevel CLIP), lifo or clip (flat FM)")
-		starts = flag.Int("starts", 1, "independent starts; the best result is kept")
-		cutoff = flag.Float64("cutoff", 1, "pass cutoff fraction after the first pass (1 = none)")
-		seed   = flag.Uint64("seed", 1, "random seed")
-		out    = flag.String("out", "", "write the best assignment to this file")
+		dir     = flag.String("dir", ".", "directory holding the benchmark bundle")
+		base    = flag.String("base", "", "bundle base name (required)")
+		engine  = flag.String("engine", "ml", "partitioning engine: ml (multilevel CLIP), lifo or clip (flat FM)")
+		starts  = flag.Int("starts", 1, "independent starts; the best result is kept")
+		cutoff  = flag.Float64("cutoff", 1, "pass cutoff fraction after the first pass (1 = none)")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		workers = flag.Int("workers", 0, "goroutines for parallel multistart (0 = GOMAXPROCS)")
+		out     = flag.String("out", "", "write the best assignment to this file")
 	)
 	flag.Parse()
 	if *base == "" {
@@ -37,13 +41,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*dir, *base, *engine, *starts, *cutoff, *seed, *out); err != nil {
+	if err := run(*dir, *base, *engine, *starts, *cutoff, *seed, *workers, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "hpart:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dir, base, engine string, starts int, cutoff float64, seed uint64, out string) error {
+func run(dir, base, engine string, starts int, cutoff float64, seed uint64, workers int, out string) error {
 	p, err := bookshelf.ReadProblem(dir, base)
 	if err != nil {
 		return err
@@ -56,9 +60,9 @@ func run(dir, base, engine string, starts int, cutoff float64, seed uint64, out 
 	var cut int64
 	switch engine {
 	case "ml":
-		cfg := multilevel.Config{MaxPassFraction: passFraction(cutoff)}
+		cfg := multilevel.Config{MaxPassFraction: passFraction(cutoff), Workers: workers}
 		if p.K == 2 {
-			res, err := multilevel.Multistart(p, cfg, starts, rng)
+			res, err := multilevel.ParallelMultistart(p, cfg, starts, rng)
 			if err != nil {
 				return err
 			}

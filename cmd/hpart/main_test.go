@@ -36,7 +36,7 @@ func TestRunMultilevel(t *testing.T) {
 	dir := t.TempDir()
 	p := writeBundle(t, dir, "tiny")
 	out := filepath.Join(dir, "tiny.sol")
-	if err := run(dir, "tiny", "ml", 2, 1, 1, out); err != nil {
+	if err := run(dir, "tiny", "ml", 2, 1, 1, 2, out); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	f, err := os.Open(out)
@@ -57,7 +57,7 @@ func TestRunFlatEngines(t *testing.T) {
 	dir := t.TempDir()
 	writeBundle(t, dir, "tiny")
 	for _, engine := range []string{"lifo", "clip"} {
-		if err := run(dir, "tiny", engine, 1, 0.25, 2, ""); err != nil {
+		if err := run(dir, "tiny", engine, 1, 0.25, 2, 1, ""); err != nil {
 			t.Errorf("engine %s: %v", engine, err)
 		}
 	}
@@ -66,10 +66,10 @@ func TestRunFlatEngines(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
 	writeBundle(t, dir, "tiny")
-	if err := run(dir, "tiny", "bogus", 1, 1, 1, ""); err == nil {
+	if err := run(dir, "tiny", "bogus", 1, 1, 1, 1, ""); err == nil {
 		t.Error("want error for unknown engine")
 	}
-	if err := run(dir, "missing", "ml", 1, 1, 1, ""); err == nil {
+	if err := run(dir, "missing", "ml", 1, 1, 1, 1, ""); err == nil {
 		t.Error("want error for missing bundle")
 	}
 }
@@ -99,7 +99,7 @@ func TestRunKWayBundle(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := filepath.Join(dir, "quad.sol")
-	if err := run(dir, "quad", "ml", 2, 1, 1, out); err != nil {
+	if err := run(dir, "quad", "ml", 2, 1, 1, 2, out); err != nil {
 		t.Fatalf("run ml k=4: %v", err)
 	}
 	got, err := bookshelf.ReadProblem(dir, "quad")
@@ -118,7 +118,7 @@ func TestRunKWayBundle(t *testing.T) {
 	if err := got.Feasible(a); err != nil {
 		t.Fatalf("k-way solution infeasible: %v", err)
 	}
-	if err := run(dir, "quad", "lifo", 1, 1, 2, ""); err != nil {
+	if err := run(dir, "quad", "lifo", 1, 1, 2, 1, ""); err != nil {
 		t.Fatalf("run flat k=4: %v", err)
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/hypergraph"
 	"repro/internal/multilevel"
+	"repro/internal/par"
 	"repro/internal/partition"
 	"repro/internal/stats"
 )
@@ -29,12 +30,14 @@ type ConstraintRow struct {
 }
 
 // ConstraintStudy measures constraint strength and easiness across fixing
-// levels for both regimes.
+// levels for both regimes. Independent (regime, fraction, trial) cells run
+// on cfg.Workers goroutines with index-derived RNGs, so the study is
+// deterministic for every worker count.
 func ConstraintStudy(name string, h *hypergraph.Hypergraph, cfg SweepConfig) ([]ConstraintRow, error) {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewPCG(cfg.Seed, 0xc057))
 	base := partition.NewBipartition(h, cfg.Tolerance)
-	bestRes, err := multilevel.Multistart(base, cfg.ML, cfg.GoodStarts, rng)
+	bestRes, err := multilevel.ParallelMultistart(base, withWorkers(cfg.ML, cfg.Workers), cfg.GoodStarts, rng)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: constraint study on %s: %w", name, err)
 	}
@@ -42,22 +45,49 @@ func ConstraintStudy(name string, h *hypergraph.Hypergraph, cfg SweepConfig) ([]
 	if err != nil {
 		return nil, err
 	}
-	var rows []ConstraintRow
+	type job struct {
+		prob       *partition.Problem
+		one, eight int64
+		err        error
+	}
+	cellSeed := rng.Uint64()
+	var jobs []job
 	for _, regime := range []Regime{Good, Rand} {
 		for _, frac := range cfg.Fractions {
 			prob := sched.Apply(base, frac, regime)
+			for trial := 0; trial < cfg.Trials; trial++ {
+				jobs = append(jobs, job{prob: prob})
+			}
+		}
+	}
+	par.ForEach(len(jobs), cfg.Workers, func(i int) {
+		jrng := rand.New(rand.NewPCG(cellSeed, uint64(i)))
+		r1, err := multilevel.Partition(jobs[i].prob, cfg.ML, jrng)
+		if err != nil {
+			jobs[i].err = err
+			return
+		}
+		jobs[i].one = r1.Cut
+		r8, err := multilevel.Multistart(jobs[i].prob, cfg.ML, 8, jrng)
+		if err != nil {
+			jobs[i].err = err
+			return
+		}
+		jobs[i].eight = r8.Cut
+	})
+	var rows []ConstraintRow
+	j := 0
+	for _, regime := range []Regime{Good, Rand} {
+		for _, frac := range cfg.Fractions {
+			prob := jobs[j].prob
 			var one, eight float64
 			for trial := 0; trial < cfg.Trials; trial++ {
-				r1, err := multilevel.Partition(prob, cfg.ML, rng)
-				if err != nil {
-					return nil, fmt.Errorf("experiments: constraint study %v %.1f%%: %w", regime, 100*frac, err)
+				if jobs[j].err != nil {
+					return nil, fmt.Errorf("experiments: constraint study %v %.1f%%: %w", regime, 100*frac, jobs[j].err)
 				}
-				one += float64(r1.Cut)
-				r8, err := multilevel.Multistart(prob, cfg.ML, 8, rng)
-				if err != nil {
-					return nil, err
-				}
-				eight += float64(r8.Cut)
+				one += float64(jobs[j].one)
+				eight += float64(jobs[j].eight)
+				j++
 			}
 			row := ConstraintRow{
 				Instance: name,

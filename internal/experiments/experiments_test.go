@@ -503,9 +503,11 @@ func TestPassProfile(t *testing.T) {
 
 func TestStartsRequired(t *testing.T) {
 	h := testNetlist(t, 600, 13)
+	// 8 trials: at 3 the tiny fixture's start counts are noise-dominated and
+	// the easiness margin below flips on many seeds.
 	rows, err := experiments.StartsRequired("T600", h, experiments.SweepConfig{
 		Fractions:  []float64{0, 0.30},
-		Trials:     3,
+		Trials:     8,
 		Tolerance:  0.05,
 		GoodStarts: 3,
 		Seed:       13,

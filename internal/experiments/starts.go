@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/hypergraph"
 	"repro/internal/multilevel"
+	"repro/internal/par"
 	"repro/internal/partition"
 	"repro/internal/stats"
 )
@@ -27,12 +28,15 @@ type StartsRow struct {
 	AvgCut float64
 }
 
-// StartsRequired measures adaptive multistart effort across fixing levels.
+// StartsRequired measures adaptive multistart effort across fixing levels,
+// running its independent (regime, fraction, trial) cells on cfg.Workers
+// goroutines. Per-cell RNGs derive from the seed and cell index, so the
+// study is deterministic for every worker count.
 func StartsRequired(name string, h *hypergraph.Hypergraph, cfg SweepConfig) ([]StartsRow, error) {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewPCG(cfg.Seed, 0x57a7))
 	base := partition.NewBipartition(h, cfg.Tolerance)
-	best, err := multilevel.Multistart(base, cfg.ML, cfg.GoodStarts, rng)
+	best, err := multilevel.ParallelMultistart(base, withWorkers(cfg.ML, cfg.Workers), cfg.GoodStarts, rng)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: starts study on %s: %w", name, err)
 	}
@@ -40,18 +44,44 @@ func StartsRequired(name string, h *hypergraph.Hypergraph, cfg SweepConfig) ([]S
 	if err != nil {
 		return nil, err
 	}
-	var rows []StartsRow
+	type job struct {
+		prob   *partition.Problem
+		starts int
+		cut    int64
+		err    error
+	}
+	cellSeed := rng.Uint64()
+	var jobs []job
 	for _, regime := range []Regime{Good, Rand} {
 		for _, frac := range cfg.Fractions {
 			prob := sched.Apply(base, frac, regime)
+			for trial := 0; trial < cfg.Trials; trial++ {
+				jobs = append(jobs, job{prob: prob})
+			}
+		}
+	}
+	par.ForEach(len(jobs), cfg.Workers, func(i int) {
+		jrng := rand.New(rand.NewPCG(cellSeed, uint64(i)))
+		res, err := multilevel.AdaptiveMultistart(jobs[i].prob, cfg.ML, 16, 2, jrng)
+		if err != nil {
+			jobs[i].err = err
+			return
+		}
+		jobs[i].starts = res.Starts
+		jobs[i].cut = res.Cut
+	})
+	var rows []StartsRow
+	j := 0
+	for _, regime := range []Regime{Good, Rand} {
+		for _, frac := range cfg.Fractions {
 			var starts, cut float64
 			for trial := 0; trial < cfg.Trials; trial++ {
-				res, err := multilevel.AdaptiveMultistart(prob, cfg.ML, 16, 2, rng)
-				if err != nil {
-					return nil, fmt.Errorf("experiments: starts study %v %.1f%%: %w", regime, 100*frac, err)
+				if jobs[j].err != nil {
+					return nil, fmt.Errorf("experiments: starts study %v %.1f%%: %w", regime, 100*frac, jobs[j].err)
 				}
-				starts += float64(res.Starts)
-				cut += float64(res.Cut)
+				starts += float64(jobs[j].starts)
+				cut += float64(jobs[j].cut)
+				j++
 			}
 			rows = append(rows, StartsRow{
 				Instance:  name,

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/hypergraph"
 	"repro/internal/multilevel"
+	"repro/internal/par"
 	"repro/internal/partition"
 )
 
@@ -29,6 +30,11 @@ type SweepConfig struct {
 	ML multilevel.Config
 	// Seed makes the sweep deterministic.
 	Seed uint64
+	// Workers bounds the goroutines running independent (regime, fraction,
+	// trial) cells (<= 0 means runtime.GOMAXPROCS). Cell RNGs derive from
+	// Seed and the cell index, so results are identical for every worker
+	// count — only wall-clock changes.
+	Workers int
 }
 
 func (c SweepConfig) withDefaults() SweepConfig {
@@ -77,14 +83,27 @@ type SweepResult struct {
 	RandBest map[float64]int64
 }
 
-// RunSweep executes the paper's Figure 1/2 protocol on h.
+// sweepJob is one independent unit of the sweep protocol: a (regime,
+// fraction, trial, starts) cell. Jobs run concurrently on a bounded worker
+// pool; each derives its RNG from the sweep seed and its own index, so the
+// dataset is identical for every worker count.
+type sweepJob struct {
+	prob   *partition.Problem
+	starts int
+	cut    int64
+	cpu    time.Duration
+	err    error
+}
+
+// RunSweep executes the paper's Figure 1/2 protocol on h, running its
+// independent (regime, fraction, trial) cells on cfg.Workers goroutines.
 func RunSweep(name string, h *hypergraph.Hypergraph, cfg SweepConfig) (*SweepResult, error) {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewPCG(cfg.Seed, 0xf19a7e))
 	base := partition.NewBipartition(h, cfg.Tolerance)
 
 	// Best-known solution of the unconstrained instance ("good" reference).
-	best, err := multilevel.Multistart(base, cfg.ML, cfg.GoodStarts, rng)
+	best, err := multilevel.ParallelMultistart(base, withWorkers(cfg.ML, cfg.Workers), cfg.GoodStarts, rng)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: finding good solution for %s: %w", name, err)
 	}
@@ -99,9 +118,28 @@ func RunSweep(name string, h *hypergraph.Hypergraph, cfg SweepConfig) (*SweepRes
 		GoodSolution: best.Assignment,
 		RandBest:     map[float64]int64{},
 	}
+
+	// Flatten the protocol into independent jobs, one per (regime, fraction,
+	// trial, starts) cell; all trials of a (regime, fraction) pair share one
+	// problem (read-only during solving).
+	cellSeed := rng.Uint64()
+	var jobs []sweepJob
 	for _, regime := range []Regime{Good, Rand} {
 		for _, frac := range cfg.Fractions {
 			prob := sched.Apply(base, frac, regime)
+			for trial := 0; trial < cfg.Trials; trial++ {
+				for _, starts := range cfg.Starts {
+					jobs = append(jobs, sweepJob{prob: prob, starts: starts})
+				}
+			}
+		}
+	}
+	runCells(jobs, cellSeed, cfg.Workers, cfg.ML)
+
+	// Aggregate in deterministic job order.
+	j := 0
+	for _, regime := range []Regime{Good, Rand} {
+		for _, frac := range cfg.Fractions {
 			type cell struct {
 				sumCut float64
 				sumCPU time.Duration
@@ -109,17 +147,17 @@ func RunSweep(name string, h *hypergraph.Hypergraph, cfg SweepConfig) (*SweepRes
 			cells := make([]cell, len(cfg.Starts))
 			instBest := int64(1) << 62
 			for trial := 0; trial < cfg.Trials; trial++ {
-				for si, starts := range cfg.Starts {
-					t0 := time.Now()
-					r, err := multilevel.Multistart(prob, cfg.ML, starts, rng)
-					if err != nil {
+				for si := range cfg.Starts {
+					job := &jobs[j]
+					j++
+					if job.err != nil {
 						return nil, fmt.Errorf("experiments: %s %v %.1f%% starts=%d: %w",
-							name, regime, 100*frac, starts, err)
+							name, regime, 100*frac, job.starts, job.err)
 					}
-					cells[si].sumCut += float64(r.Cut)
-					cells[si].sumCPU += time.Since(t0)
-					if r.Cut < instBest {
-						instBest = r.Cut
+					cells[si].sumCut += float64(job.cut)
+					cells[si].sumCPU += job.cpu
+					if job.cut < instBest {
+						instBest = job.cut
 					}
 				}
 			}
@@ -148,6 +186,31 @@ func RunSweep(name string, h *hypergraph.Hypergraph, cfg SweepConfig) (*SweepRes
 		}
 	}
 	return res, nil
+}
+
+// runCells executes the jobs concurrently. Job i's RNG derives from
+// (cellSeed, i), so the outcome of every cell is independent of scheduling.
+func runCells(jobs []sweepJob, cellSeed uint64, workers int, ml multilevel.Config) {
+	par.ForEach(len(jobs), workers, func(i int) {
+		job := &jobs[i]
+		rng := rand.New(rand.NewPCG(cellSeed, uint64(i)))
+		t0 := time.Now()
+		r, err := multilevel.Multistart(job.prob, ml, job.starts, rng)
+		job.cpu = time.Since(t0)
+		if err != nil {
+			job.err = err
+			return
+		}
+		job.cut = r.Cut
+	})
+}
+
+// withWorkers returns ml with its worker bound overridden by the sweep-level
+// setting, for the protocol phases that parallelize inside one multistart
+// (reference-solution search) rather than across cells.
+func withWorkers(ml multilevel.Config, workers int) multilevel.Config {
+	ml.Workers = workers
+	return ml
 }
 
 // Point returns the sweep point for (regime, fraction, starts), or nil.

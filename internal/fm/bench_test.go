@@ -62,3 +62,54 @@ func BenchmarkKWayFM4(b *testing.B) {
 		}
 	}
 }
+
+// Scratch-reuse benchmarks: the same pass over the same initial solution,
+// once allocating fresh per-run state each iteration and once reusing a
+// single Scratch. The allocs/op gap is the cost the sync.Pool in Bipartition
+// removes from multistart loops.
+
+func benchInitial(b *testing.B, p *partition.Problem) partition.Assignment {
+	b.Helper()
+	initial, err := partition.RandomFeasible(p, rand.New(rand.NewPCG(3, 3)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return initial
+}
+
+func BenchmarkBipartitionFreshScratch(b *testing.B) {
+	p := benchProblem(b)
+	initial := benchInitial(b, p)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fm.BipartitionWith(p, initial, fm.Config{Policy: fm.CLIP}, fm.NewScratch()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBipartitionReusedScratch(b *testing.B) {
+	p := benchProblem(b)
+	initial := benchInitial(b, p)
+	sc := fm.NewScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fm.BipartitionWith(p, initial, fm.Config{Policy: fm.CLIP}, sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBipartitionPooled(b *testing.B) {
+	p := benchProblem(b)
+	initial := benchInitial(b, p)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fm.Bipartition(p, initial, fm.Config{Policy: fm.CLIP}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -19,21 +19,21 @@ type gainBuckets struct {
 }
 
 func newGainBuckets(numVerts int, maxKey int32) *gainBuckets {
-	b := &gainBuckets{
-		offset: maxKey,
-		head:   make([]int32, 2*maxKey+1),
-		next:   make([]int32, numVerts),
-		prev:   make([]int32, numVerts),
-		inIdx:  make([]int32, numVerts),
-		maxIdx: -1,
-	}
-	for i := range b.head {
-		b.head[i] = -1
-	}
-	for i := range b.inIdx {
-		b.inIdx[i] = -1
-	}
+	b := &gainBuckets{}
+	b.resize(numVerts, maxKey)
 	return b
+}
+
+// resize prepares the structure for numVerts vertices and keys in
+// [-maxKey, maxKey], reusing backing arrays when they are large enough, and
+// leaves it empty (reset).
+func (b *gainBuckets) resize(numVerts int, maxKey int32) {
+	b.offset = maxKey
+	b.head = growInt32(b.head, int(2*maxKey)+1)
+	b.next = growInt32(b.next, numVerts)
+	b.prev = growInt32(b.prev, numVerts)
+	b.inIdx = growInt32(b.inIdx, numVerts)
+	b.reset()
 }
 
 // clampKey saturates key into the representable bucket range.

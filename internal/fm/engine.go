@@ -103,28 +103,33 @@ func (r *Result) TotalMoves() int {
 	return n
 }
 
-// engine holds the per-run state of the bipartitioning FM kernel.
+// engine holds the per-run state of the bipartitioning FM kernel. All bulk
+// arrays live in the embedded Scratch so repeated runs can reuse them.
 type engine struct {
 	p   *partition.Problem
 	h   *hypergraph.Hypergraph
 	cfg Config
 
-	a        partition.Assignment
-	pinCount [2][]int32 // pins of net e in part s
-	weight   [2][]int64 // part weight per resource
-	movable  []bool
-	locked   []bool
-	gain     []int64 // actual gain of moving v to the other side
-	key      []int64 // bucket key (gain for LIFO, gain-delta for CLIP)
-	buckets  [2]*gainBuckets
+	a partition.Assignment
+	*Scratch
 	nMovable int
 }
 
 // Bipartition refines the feasible initial assignment with flat FM passes
 // and returns the best solution found. The initial assignment is not
 // modified. Vertices whose allowed mask excludes one of the two parts are
-// treated as fixed terminals.
+// treated as fixed terminals. Working state comes from an internal
+// sync.Pool; use BipartitionWith to manage the Scratch explicitly.
 func Bipartition(p *partition.Problem, initial partition.Assignment, cfg Config) (*Result, error) {
+	sc := scratchPool.Get().(*Scratch)
+	defer scratchPool.Put(sc)
+	return BipartitionWith(p, initial, cfg, sc)
+}
+
+// BipartitionWith is Bipartition running on a caller-provided Scratch, for
+// callers that make many runs and want to keep one warm Scratch instead of
+// going through the pool. The result never aliases scratch memory.
+func BipartitionWith(p *partition.Problem, initial partition.Assignment, cfg Config, sc *Scratch) (*Result, error) {
 	if p.K != 2 {
 		return nil, fmt.Errorf("fm: Bipartition requires k=2, got k=%d", p.K)
 	}
@@ -137,28 +142,22 @@ func Bipartition(p *partition.Problem, initial partition.Assignment, cfg Config)
 	if cfg.MaxPassFraction < 0 || cfg.MaxPassFraction > 1 {
 		return nil, fmt.Errorf("fm: MaxPassFraction %v outside [0,1]", cfg.MaxPassFraction)
 	}
-	e := newEngine(p, initial, cfg)
+	e := newEngine(p, initial, cfg, sc)
 	return e.run(), nil
 }
 
-func newEngine(p *partition.Problem, initial partition.Assignment, cfg Config) *engine {
+func newEngine(p *partition.Problem, initial partition.Assignment, cfg Config, sc *Scratch) *engine {
 	h := p.H
 	nv := h.NumVertices()
 	ne := h.NumNets()
 	nr := h.NumResources()
+	sc.prepare(nv, ne, nr)
 	e := &engine{
 		p:       p,
 		h:       h,
 		cfg:     cfg,
 		a:       initial.Clone(),
-		movable: make([]bool, nv),
-		locked:  make([]bool, nv),
-		gain:    make([]int64, nv),
-		key:     make([]int64, nv),
-	}
-	for s := 0; s < 2; s++ {
-		e.pinCount[s] = make([]int32, ne)
-		e.weight[s] = make([]int64, nr)
+		Scratch: sc,
 	}
 	for en := 0; en < ne; en++ {
 		for _, v := range h.Pins(en) {
@@ -195,8 +194,7 @@ func newEngine(p *partition.Problem, initial partition.Assignment, cfg Config) *
 	if maxAdj > maxBucketSpan {
 		maxAdj = maxBucketSpan
 	}
-	e.buckets[0] = newGainBuckets(nv, int32(maxAdj))
-	e.buckets[1] = newGainBuckets(nv, int32(maxAdj))
+	sc.sizeBuckets(nv, int32(maxAdj))
 	return e
 }
 
@@ -208,7 +206,7 @@ func (e *engine) run() *Result {
 		res.Cut = cut
 		return res
 	}
-	moveLog := make([]int32, 0, e.nMovable)
+	moveLog := e.Scratch.moveLog[:0]
 	for pass := 0; pass < e.cfg.maxPasses(); pass++ {
 		limit := e.nMovable
 		if pass > 0 && e.cfg.MaxPassFraction > 0 && e.cfg.MaxPassFraction < 1 {
@@ -228,6 +226,7 @@ func (e *engine) run() *Result {
 			break
 		}
 	}
+	e.Scratch.moveLog = moveLog // keep any growth for the next run
 	res.Assignment = e.a
 	res.Cut = cut
 	return res
@@ -296,7 +295,7 @@ func (e *engine) initPass() {
 	e.buckets[0].reset()
 	e.buckets[1].reset()
 	h := e.h
-	order := make([]int32, 0, e.nMovable)
+	order := e.Scratch.order[:0]
 	for v := 0; v < h.NumVertices(); v++ {
 		if !e.movable[v] {
 			continue
@@ -327,6 +326,7 @@ func (e *engine) initPass() {
 		}
 		e.buckets[e.a[v]].insert(v, e.key[v])
 	}
+	e.Scratch.order = order
 }
 
 // feasibleMove reports whether moving v out of side s keeps balance.

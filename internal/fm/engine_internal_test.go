@@ -43,7 +43,7 @@ func TestEngineInvariants(t *testing.T) {
 		if !ok {
 			return true
 		}
-		e := newEngine(p, initial, Config{Policy: LIFO})
+		e := newEngine(p, initial, Config{Policy: LIFO}, NewScratch())
 		res := e.run()
 		h := p.H
 		// Recompute pin counts from the final assignment.
@@ -84,7 +84,7 @@ func TestEngineGainsFreshEachPass(t *testing.T) {
 	if !ok {
 		t.Skip("infeasible draw")
 	}
-	e := newEngine(p, initial, Config{Policy: LIFO})
+	e := newEngine(p, initial, Config{Policy: LIFO}, NewScratch())
 	e.initPass()
 	h := p.H
 	for v := 0; v < h.NumVertices(); v++ {

@@ -430,3 +430,51 @@ func TestStallCutoff(t *testing.T) {
 		}
 	}
 }
+
+// TestScratchReuseMatchesFresh reuses one Scratch across runs on problems of
+// different sizes and shapes, interleaved, and checks every result is
+// bit-identical to a fresh-scratch run: stale state from a previous (larger)
+// problem must never leak into the next.
+func TestScratchReuseMatchesFresh(t *testing.T) {
+	var probs []*partition.Problem
+	var inits []partition.Assignment
+	rng := rand.New(rand.NewPCG(21, 21))
+	for i, nv := range []int{30, 120, 12, 60, 120, 30} {
+		p, _ := randomProblem(uint64(i+1), nv)
+		if i%2 == 1 { // alternate in some fixed vertices
+			for _, v := range rng.Perm(nv)[:nv/5] {
+				p.Fix(v, rng.IntN(2))
+			}
+		}
+		initial, err := partition.RandomFeasible(p, rng)
+		if err != nil {
+			t.Fatalf("RandomFeasible(%d): %v", i, err)
+		}
+		probs = append(probs, p)
+		inits = append(inits, initial)
+	}
+	sc := fm.NewScratch()
+	for _, policy := range []fm.Policy{fm.LIFO, fm.CLIP} {
+		for i, p := range probs {
+			cfg := fm.Config{Policy: policy}
+			fresh, err := fm.BipartitionWith(p, inits[i], cfg, fm.NewScratch())
+			if err != nil {
+				t.Fatalf("fresh run %d: %v", i, err)
+			}
+			reused, err := fm.BipartitionWith(p, inits[i], cfg, sc)
+			if err != nil {
+				t.Fatalf("reused run %d: %v", i, err)
+			}
+			if fresh.Cut != reused.Cut {
+				t.Fatalf("policy %v problem %d: reused cut %d != fresh cut %d",
+					policy, i, reused.Cut, fresh.Cut)
+			}
+			for v := range fresh.Assignment {
+				if fresh.Assignment[v] != reused.Assignment[v] {
+					t.Fatalf("policy %v problem %d: assignments diverge at vertex %d",
+						policy, i, v)
+				}
+			}
+		}
+	}
+}

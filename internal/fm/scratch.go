@@ -1,0 +1,100 @@
+package fm
+
+import "sync"
+
+// Scratch holds the reusable working state of the bipartition engine: gain
+// and key arrays, lock/movable flags, per-side pin counts and part weights,
+// the two gain-bucket structures, and the per-pass ordering and move-log
+// slices. A Scratch can be reused across runs — including runs on different
+// problems; every array is (re)sized and cleared at the start of a run — so
+// repeated FM starts stop paying the engine's allocation cost.
+//
+// A Scratch must not be used by two runs concurrently. Results returned by
+// the engine never alias scratch memory, so a Scratch may be released (or
+// pooled) as soon as the run returns.
+type Scratch struct {
+	movable  []bool
+	locked   []bool
+	gain     []int64
+	key      []int64
+	pinCount [2][]int32
+	weight   [2][]int64
+	buckets  [2]gainBuckets
+	order    []int32
+	moveLog  []int32
+}
+
+// NewScratch returns an empty Scratch; arrays are allocated lazily on first
+// use and retained between runs.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// scratchPool caches Scratch values for callers of the non-With entry points
+// (Bipartition, RunFromRandom). With a bounded worker pool upstream, each
+// worker effectively keeps one warm Scratch, so repeated starts on the same
+// problem allocate almost nothing.
+var scratchPool = sync.Pool{New: func() any { return NewScratch() }}
+
+// prepare sizes the vertex/net/resource arrays for a run and clears the
+// state the engine accumulates into. The gain buckets are sized separately
+// (by sizeBuckets) once the engine knows the key span.
+func (s *Scratch) prepare(nv, ne, nr int) {
+	s.movable = growBool(s.movable, nv)
+	for i := range s.movable {
+		s.movable[i] = false
+	}
+	s.locked = growBool(s.locked, nv)
+	for i := range s.locked {
+		s.locked[i] = false
+	}
+	// gain/key are fully rewritten by initPass before being read; only size.
+	s.gain = growInt64(s.gain, nv)
+	s.key = growInt64(s.key, nv)
+	for side := 0; side < 2; side++ {
+		s.pinCount[side] = growInt32(s.pinCount[side], ne)
+		for i := range s.pinCount[side] {
+			s.pinCount[side][i] = 0
+		}
+		s.weight[side] = growInt64(s.weight[side], nr)
+		for i := range s.weight[side] {
+			s.weight[side][i] = 0
+		}
+	}
+	if cap(s.order) < nv {
+		s.order = make([]int32, 0, nv)
+	}
+	s.order = s.order[:0]
+	if cap(s.moveLog) < nv {
+		s.moveLog = make([]int32, 0, nv)
+	}
+	s.moveLog = s.moveLog[:0]
+}
+
+// sizeBuckets (re)sizes both gain-bucket sides for nv vertices and the key
+// span [-maxKey, maxKey], leaving them empty.
+func (s *Scratch) sizeBuckets(nv int, maxKey int32) {
+	s.buckets[0].resize(nv, maxKey)
+	s.buckets[1].resize(nv, maxKey)
+}
+
+// growBool returns a length-n slice, reusing s's backing array when large
+// enough. Contents are unspecified.
+func growBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growInt64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
+}

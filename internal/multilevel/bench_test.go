@@ -1,6 +1,7 @@
 package multilevel_test
 
 import (
+	"fmt"
 	"math/rand/v2"
 	"testing"
 
@@ -90,5 +91,42 @@ func BenchmarkRecursiveBisect4(b *testing.B) {
 		if _, err := multilevel.RecursiveBisect(p, multilevel.Config{}, rng); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkParallelMultistart measures 8-start multilevel runs at several
+// worker counts. On a single-CPU host all counts degenerate to serial
+// throughput; the sub-benchmarks exist to expose scheduling overhead and, on
+// multicore hosts, the speedup of the deterministic parallel driver.
+func BenchmarkParallelMultistart(b *testing.B) {
+	p := benchProblem(b, 0.2)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := multilevel.Config{Workers: workers}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rng := rand.New(rand.NewPCG(1, 1))
+				if _, err := multilevel.ParallelMultistart(p, cfg, 8, rng); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAdaptiveMultistartParallel(b *testing.B) {
+	p := benchProblem(b, 0.2)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := multilevel.Config{Workers: workers}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rng := rand.New(rand.NewPCG(1, 1))
+				if _, err := multilevel.ParallelAdaptiveMultistart(p, cfg, 16, 2, rng); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -42,6 +42,10 @@ type Config struct {
 	// uncoarsening (0 = run to convergence, the default). The
 	// coarsest-level initial partitioning always runs to convergence.
 	RefineMaxPasses int
+	// Workers bounds the worker pool of ParallelMultistart and
+	// ParallelAdaptiveMultistart (<= 0 means runtime.GOMAXPROCS). It never
+	// affects results: output is bit-identical for every worker count.
+	Workers int
 }
 
 // SetPolicy selects the refinement policy explicitly.
@@ -99,7 +103,7 @@ func Partition(p *partition.Problem, cfg Config, rng *rand.Rand) (*Result, error
 	levels := []level{{problem: p}}
 	curr := p
 	for len(levels) < cfg.MaxLevels {
-		if movableCount(curr) <= cfg.CoarsestSize {
+		if curr.MovableCount() <= cfg.CoarsestSize {
 			break
 		}
 		coarse, clusterOf, ok := coarsenLevel(cfg.Scheme, curr, nil, maxCluster, cfg.ClusteringRatio, rng)
@@ -157,14 +161,22 @@ func Partition(p *partition.Problem, cfg Config, rng *rand.Rand) (*Result, error
 	}, nil
 }
 
-// Multistart runs n independent starts and returns the best result.
+// Multistart runs n independent starts and returns the best result, with
+// ties broken toward the lowest start index.
+//
+// Each start runs on its own RNG derived as rand.NewPCG(seed, startIndex),
+// where the single seed is drawn from rng up front; rng is never shared
+// across starts. This is the same derivation ParallelMultistart uses, so for
+// the same incoming rng state the serial and parallel drivers return
+// bit-identical results.
 func Multistart(p *partition.Problem, cfg Config, starts int, rng *rand.Rand) (*Result, error) {
 	if starts < 1 {
 		starts = 1
 	}
+	baseSeed := rng.Uint64()
 	var best *Result
 	for i := 0; i < starts; i++ {
-		res, err := Partition(p, cfg, rng)
+		res, err := Partition(p, cfg, startRNG(baseSeed, i))
 		if err != nil {
 			return nil, err
 		}
@@ -183,6 +195,9 @@ func Multistart(p *partition.Problem, cfg Config, starts int, rng *rand.Rand) (*
 // effort a given instance deserves: in the fixed-terminals regime the loop
 // stops after the minimum patience window, on free instances it keeps
 // paying for improvements.
+//
+// Starts draw per-index RNGs exactly like Multistart, so
+// ParallelAdaptiveMultistart reproduces this loop bit-identically.
 func AdaptiveMultistart(p *partition.Problem, cfg Config, maxStarts, patience int, rng *rand.Rand) (*Result, error) {
 	if maxStarts < 1 {
 		maxStarts = 16
@@ -190,11 +205,12 @@ func AdaptiveMultistart(p *partition.Problem, cfg Config, maxStarts, patience in
 	if patience < 1 {
 		patience = 2
 	}
+	baseSeed := rng.Uint64()
 	var best *Result
 	stale := 0
 	used := 0
 	for used < maxStarts {
-		res, err := Partition(p, cfg, rng)
+		res, err := Partition(p, cfg, startRNG(baseSeed, used))
 		if err != nil {
 			return nil, err
 		}
@@ -223,16 +239,6 @@ func coarsenLevel(s Scheme, p *partition.Problem, part partition.Assignment, max
 	default:
 		return matchLevel(p, part, maxCluster, minShrink, rng)
 	}
-}
-
-func movableCount(p *partition.Problem) int {
-	n := 0
-	for v := 0; v < p.H.NumVertices(); v++ {
-		if _, fixed := p.FixedPart(v); !fixed {
-			n++
-		}
-	}
-	return n
 }
 
 func project(coarse partition.Assignment, clusterOf []int32) partition.Assignment {

@@ -1,0 +1,124 @@
+package multilevel
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/par"
+	"repro/internal/partition"
+)
+
+// The parallel multistart drivers in this file obey a strict determinism
+// contract:
+//
+//   - Per-start RNG derivation. A run draws one base seed from the caller's
+//     rng, and start i runs on rand.NewPCG(baseSeed, i). Start i's outcome is
+//     therefore a pure function of (problem, config, baseSeed, i) — never of
+//     scheduling, worker count, or which starts run beside it.
+//   - Index-ordered selection. The best result is chosen by scanning starts
+//     in index order with a strict < on cut, so ties break toward the lowest
+//     start index exactly as the serial loop does.
+//   - Speculative batches (adaptive mode). ParallelAdaptiveMultistart
+//     computes starts in batches of patience+workers, then *replays* the
+//     serial stopping rule over results in index order; a start only counts
+//     toward patience at its index position, so the returned result, cut and
+//     Starts count match AdaptiveMultistart bit-for-bit. Speculatively
+//     computed starts past the stopping point are discarded.
+//
+// Consequence: for the same incoming rng state, ParallelMultistart with any
+// worker count, ParallelMultistart with 1 worker, and serial Multistart all
+// return bit-identical Results (and likewise for the adaptive pair).
+
+// startRNG derives the RNG for start index i of a run whose base seed is
+// baseSeed. Every start gets an independent deterministic stream regardless
+// of worker count or execution order.
+func startRNG(baseSeed uint64, i int) *rand.Rand {
+	return rand.New(rand.NewPCG(baseSeed, uint64(i)))
+}
+
+// runStarts computes starts [lo, hi) on up to `workers` goroutines, writing
+// each start's outcome at its index in results/errs.
+func runStarts(p *partition.Problem, cfg Config, baseSeed uint64, lo, hi, workers int, results []*Result, errs []error) {
+	par.ForEach(hi-lo, workers, func(i int) {
+		idx := lo + i
+		results[idx], errs[idx] = Partition(p, cfg, startRNG(baseSeed, idx))
+	})
+}
+
+// ParallelMultistart is Multistart running its independent starts on a
+// bounded worker pool of cfg.Workers goroutines (<= 0 meaning GOMAXPROCS).
+// It returns a Result bit-identical to the serial Multistart for the same
+// incoming rng state, for any worker count.
+func ParallelMultistart(p *partition.Problem, cfg Config, starts int, rng *rand.Rand) (*Result, error) {
+	if starts < 1 {
+		starts = 1
+	}
+	baseSeed := rng.Uint64()
+	results := make([]*Result, starts)
+	errs := make([]error, starts)
+	runStarts(p, cfg, baseSeed, 0, starts, cfg.Workers, results, errs)
+	var best *Result
+	for i := 0; i < starts; i++ {
+		if errs[i] != nil {
+			// The serial loop fails at the first erroring start; returning
+			// the lowest-index error preserves equivalence.
+			return nil, errs[i]
+		}
+		if best == nil || results[i].Cut < best.Cut {
+			best = results[i]
+		}
+	}
+	best.Starts = starts
+	return best, nil
+}
+
+// ParallelAdaptiveMultistart is AdaptiveMultistart on a bounded worker pool.
+// It speculatively executes batches of patience+workers starts, then applies
+// the sequential stopping rule to the computed prefix in index order, so the
+// result (cut, assignment and Starts count) is bit-identical to the serial
+// driver for the same incoming rng state, for any worker count. The price of
+// the parallelism is bounded speculation: at most patience+workers-1 starts
+// beyond the serial stopping point are computed and discarded.
+func ParallelAdaptiveMultistart(p *partition.Problem, cfg Config, maxStarts, patience int, rng *rand.Rand) (*Result, error) {
+	if maxStarts < 1 {
+		maxStarts = 16
+	}
+	if patience < 1 {
+		patience = 2
+	}
+	baseSeed := rng.Uint64()
+	workers := par.Workers(cfg.Workers)
+	results := make([]*Result, maxStarts)
+	errs := make([]error, maxStarts)
+	computed := 0 // starts [0, computed) have results
+	var best *Result
+	stale := 0
+	used := 0
+	for used < maxStarts {
+		if used == computed {
+			batch := patience + workers
+			if batch > maxStarts-computed {
+				batch = maxStarts - computed
+			}
+			runStarts(p, cfg, baseSeed, computed, computed+batch, workers, results, errs)
+			computed += batch
+		}
+		// Replay the serial stopping semantics: start `used` counts toward
+		// patience only now, at its index position.
+		if errs[used] != nil {
+			return nil, errs[used]
+		}
+		res := results[used]
+		used++
+		if best == nil || res.Cut < best.Cut {
+			best = res
+			stale = 0
+		} else {
+			stale++
+			if stale >= patience {
+				break
+			}
+		}
+	}
+	best.Starts = used
+	return best, nil
+}

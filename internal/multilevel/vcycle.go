@@ -44,7 +44,7 @@ func VCycle(p *partition.Problem, a partition.Assignment, cfg Config, rng *rand.
 	levels := []vlevel{{problem: p, sol: a.Clone()}}
 	for len(levels) < cfg.MaxLevels {
 		curr := levels[len(levels)-1]
-		if movableCount(curr.problem) <= cfg.CoarsestSize {
+		if curr.problem.MovableCount() <= cfg.CoarsestSize {
 			break
 		}
 		coarse, clusterOf, ok := coarsenLevel(cfg.Scheme, curr.problem, curr.sol, maxCluster, cfg.ClusteringRatio, rng)

@@ -1,0 +1,56 @@
+// Package par provides the tiny bounded-worker parallel-for primitive shared
+// by the parallel multistart engine, the experiment sweeps, and the placer.
+//
+// The contract that makes determinism easy for callers: ForEach only decides
+// *which goroutine* runs each index, never the meaning of the index. Callers
+// that (a) derive any randomness from the index (not from shared state) and
+// (b) write results into a slot addressed by the index get output that is
+// bit-identical for every worker count, including 1.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers normalizes a configured worker count: values <= 0 mean
+// runtime.GOMAXPROCS(0).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(i) for every i in [0, n) on up to `workers` goroutines
+// (<= 0 meaning GOMAXPROCS) and returns when all calls have finished. fn must
+// be safe for concurrent invocation. With workers == 1 — or n == 1 — fn runs
+// on the calling goroutine in index order, with no goroutines spawned.
+func ForEach(n, workers int, fn func(i int)) {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}

@@ -1,0 +1,55 @@
+package par_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/par"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8, 100} {
+		const n = 57
+		var hits [n]int32
+		par.ForEach(n, workers, func(i int) {
+			atomic.AddInt32(&hits[i], 1)
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachZeroAndNegative(t *testing.T) {
+	ran := false
+	par.ForEach(0, 4, func(int) { ran = true })
+	if ran {
+		t.Error("fn ran for n=0")
+	}
+	var count int32
+	par.ForEach(3, -1, func(int) { atomic.AddInt32(&count, 1) })
+	if count != 3 {
+		t.Errorf("negative workers: ran %d of 3", count)
+	}
+}
+
+func TestForEachSingleWorkerOrdered(t *testing.T) {
+	var order []int
+	par.ForEach(5, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("workers=1 order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if par.Workers(3) != 3 {
+		t.Error("Workers(3) != 3")
+	}
+	if par.Workers(0) < 1 || par.Workers(-2) < 1 {
+		t.Error("Workers must default to at least 1")
+	}
+}

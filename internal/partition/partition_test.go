@@ -404,3 +404,54 @@ func TestSOEDIdentityProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestMovableCountCaching(t *testing.T) {
+	h := grid(6)
+	p := partition.NewBipartition(h, 0.1)
+	nv := h.NumVertices()
+	if got := p.MovableCount(); got != nv {
+		t.Fatalf("MovableCount = %d, want %d", got, nv)
+	}
+	// Fix must invalidate the cache.
+	p.Fix(0, 0)
+	p.Fix(1, 1)
+	if got := p.MovableCount(); got != nv-2 {
+		t.Fatalf("MovableCount after Fix = %d, want %d", got, nv-2)
+	}
+	// Restrict to a single part also fixes the vertex.
+	p.Restrict(2, partition.Single(0))
+	if got := p.MovableCount(); got != nv-3 {
+		t.Fatalf("MovableCount after Restrict = %d, want %d", got, nv-3)
+	}
+	// A non-singleton restriction keeps the vertex movable.
+	p.Restrict(3, partition.AllParts(2))
+	if got := p.MovableCount(); got != nv-3 {
+		t.Fatalf("MovableCount after free Restrict = %d, want %d", got, nv-3)
+	}
+	// The cached value must agree with a fresh recount.
+	n := 0
+	for v := 0; v < nv; v++ {
+		if _, fixed := p.FixedPart(v); !fixed {
+			n++
+		}
+	}
+	if got := p.MovableCount(); got != n {
+		t.Fatalf("cached MovableCount = %d, recount = %d", got, n)
+	}
+}
+
+func TestMovableCountConcurrent(t *testing.T) {
+	h := grid(50)
+	p := partition.NewBipartition(h, 0.1)
+	p.Fix(0, 0)
+	want := h.NumVertices() - 1
+	done := make(chan int, 8)
+	for g := 0; g < 8; g++ {
+		go func() { done <- p.MovableCount() }()
+	}
+	for g := 0; g < 8; g++ {
+		if got := <-done; got != want {
+			t.Fatalf("concurrent MovableCount = %d, want %d", got, want)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/hypergraph"
 )
@@ -19,6 +20,12 @@ type Problem struct {
 	// vertex is free. A vertex whose mask has a single bit is a fixed
 	// terminal.
 	Allowed []Mask
+
+	// movableCache memoizes MovableCount as count+1 (0 = unset). It is
+	// accessed atomically so concurrent solvers may share one Problem;
+	// Fix/Restrict invalidate it. Callers that assign Allowed directly must
+	// do so before the first MovableCount call.
+	movableCache int64
 }
 
 // NewFree returns a problem over h with k parts, the given uniform balance
@@ -48,12 +55,14 @@ func (p *Problem) ensureAllowed() {
 func (p *Problem) Fix(v, part int) {
 	p.ensureAllowed()
 	p.Allowed[v] = Single(part)
+	atomic.StoreInt64(&p.movableCache, 0)
 }
 
 // Restrict limits vertex v to the parts in mask (OR-region semantics).
 func (p *Problem) Restrict(v int, mask Mask) {
 	p.ensureAllowed()
 	p.Allowed[v] = mask
+	atomic.StoreInt64(&p.movableCache, 0)
 }
 
 // MaskOf returns the allowed-parts mask for vertex v.
@@ -89,6 +98,24 @@ func (p *Problem) NumFixed() int {
 			n++
 		}
 	}
+	return n
+}
+
+// MovableCount returns the number of vertices not fixed to a single part.
+// The first call scans Allowed once; the count is then cached (atomically,
+// so a Problem shared by concurrent solvers stays race-free) until the next
+// Fix or Restrict.
+func (p *Problem) MovableCount() int {
+	if c := atomic.LoadInt64(&p.movableCache); c > 0 {
+		return int(c - 1)
+	}
+	n := 0
+	for v := 0; v < p.H.NumVertices(); v++ {
+		if _, fixed := p.FixedPart(v); !fixed {
+			n++
+		}
+	}
+	atomic.StoreInt64(&p.movableCache, int64(n)+1)
 	return n
 }
 

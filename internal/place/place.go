@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/hypergraph"
 	"repro/internal/multilevel"
+	"repro/internal/par"
 	"repro/internal/partition"
 )
 
@@ -36,6 +37,11 @@ type Config struct {
 	// Width, Height are the chip dimensions (default: unit square scaled to
 	// sqrt of total area).
 	Width, Height float64
+	// Workers bounds the goroutines bisecting the independent regions of one
+	// top-down level (<= 0 means runtime.GOMAXPROCS). Each region's RNG is
+	// drawn from the caller's rng in deterministic region order, so the
+	// placement is identical for every worker count.
+	Workers int
 }
 
 // Placement is the result of Place: a position for every vertex.
@@ -110,35 +116,62 @@ func Place(h *hypergraph.Hypergraph, cfg Config, rng *rand.Rand) (*Placement, er
 			rootCells = append(rootCells, int32(v))
 		}
 	}
-	queue := []region{{0, 0, cfg.Width, cfg.Height, rootCells}}
-	for len(queue) > 0 {
-		r := queue[0]
-		queue = queue[1:]
-		if len(r.cells) <= cfg.MinBlockCells {
-			spreadCells(pl, r)
-			continue
-		}
-		left, right, err := bisectRegion(pl, r, cfg, rng)
-		if err != nil {
-			// A macro-dominated region can make the bisection infeasible at
-			// the configured tolerance; loosen progressively, and as a last
-			// resort stop recursing and spread the cells in place.
-			loose := cfg
-			for tol := cfg.Tolerance * 2; err != nil && tol <= 0.5; tol *= 2 {
-				loose.Tolerance = tol
-				left, right, err = bisectRegion(pl, r, loose, rng)
+	// Top-down levels: the regions of one level partition disjoint cell sets,
+	// so their bisections are independent and run on cfg.Workers goroutines.
+	// Terminal regions are spread first (their final positions feed terminal
+	// propagation), per-region seeds are drawn in region order, and child
+	// positions are applied after the level's barrier — so every level's
+	// bisections see the same snapshot regardless of worker count.
+	level := []region{{0, 0, cfg.Width, cfg.Height, rootCells}}
+	for len(level) > 0 {
+		var work []region
+		for _, r := range level {
+			if len(r.cells) <= cfg.MinBlockCells {
+				spreadCells(pl, r)
+			} else {
+				work = append(work, r)
 			}
+		}
+		seeds := make([]uint64, len(work))
+		for i := range seeds {
+			seeds[i] = rng.Uint64()
+		}
+		type split struct {
+			left, right region
+			ok          bool
+		}
+		splits := make([]split, len(work))
+		par.ForEach(len(work), cfg.Workers, func(i int) {
+			rrng := rand.New(rand.NewPCG(seeds[i], 0))
+			left, right, err := bisectRegion(pl, work[i], cfg, rrng)
 			if err != nil {
+				// A macro-dominated region can make the bisection infeasible
+				// at the configured tolerance; loosen progressively, and as a
+				// last resort leave the region terminal.
+				loose := cfg
+				for tol := cfg.Tolerance * 2; err != nil && tol <= 0.5; tol *= 2 {
+					loose.Tolerance = tol
+					left, right, err = bisectRegion(pl, work[i], loose, rrng)
+				}
+			}
+			if err == nil {
+				splits[i] = split{left, right, true}
+			}
+		})
+		var next []region
+		for i, r := range work {
+			if !splits[i].ok {
 				spreadCells(pl, r)
 				continue
 			}
-		}
-		for _, child := range []region{left, right} {
-			for _, v := range child.cells {
-				pl.X[v], pl.Y[v] = child.cx(), child.cy()
+			for _, child := range []region{splits[i].left, splits[i].right} {
+				for _, v := range child.cells {
+					pl.X[v], pl.Y[v] = child.cx(), child.cy()
+				}
+				next = append(next, child)
 			}
-			queue = append(queue, child)
 		}
+		level = next
 	}
 	return pl, nil
 }

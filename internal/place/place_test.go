@@ -176,3 +176,30 @@ func TestPlaceShortFixedSlices(t *testing.T) {
 		t.Errorf("short-slice fixed vertex not pinned: (%g,%g)", pl.X[c0], pl.Y[c0])
 	}
 }
+
+// TestPlaceWorkersDeterministic checks the placer's determinism contract:
+// per-region RNGs are derived in region order, so any worker count yields a
+// bit-identical placement.
+func TestPlaceWorkersDeterministic(t *testing.T) {
+	nl := testNetlist(t, 300, 5)
+	fx, fy := padCoords(nl, 64, 64)
+	var ref *place.Placement
+	for _, workers := range []int{1, 2, 8} {
+		pl, err := place.Place(nl.H, place.Config{
+			Width: 64, Height: 64, FixedX: fx, FixedY: fy, Workers: workers,
+		}, rand.New(rand.NewPCG(9, 9)))
+		if err != nil {
+			t.Fatalf("Place workers=%d: %v", workers, err)
+		}
+		if ref == nil {
+			ref = pl
+			continue
+		}
+		for v := 0; v < nl.H.NumVertices(); v++ {
+			if pl.X[v] != ref.X[v] || pl.Y[v] != ref.Y[v] {
+				t.Fatalf("workers=%d: vertex %d at (%v,%v), want (%v,%v)",
+					workers, v, pl.X[v], pl.Y[v], ref.X[v], ref.Y[v])
+			}
+		}
+	}
+}
