@@ -649,3 +649,103 @@ type multistartSample struct {
 	Workers int   `json:"workers"`
 	NS      int64 `json:"ns"`
 }
+
+// BenchmarkDirectKway measures the direct k-way V-cycle driver against
+// recursive bisection + k-way FM polish at several part counts. The first
+// run also writes BENCH_kway.json, a committed baseline for tracking the
+// k-way kernel's quality and throughput across changes; it re-checks that
+// the direct driver's mean cut stays at or below recursive bisection's.
+func BenchmarkDirectKway(b *testing.B) {
+	nl := mustNetlist(b, "IBM01S", benchScale())
+	runDirect := func(k int, seed uint64) (int64, time.Duration) {
+		p := partition.NewFree(nl.H, k, 0.05)
+		rng := rand.New(rand.NewPCG(seed, 0xd1))
+		t0 := time.Now()
+		res, err := multilevel.PartitionKWay(p, multilevel.Config{}, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.Cut, time.Since(t0)
+	}
+	runRB := func(k int, seed uint64) (int64, time.Duration) {
+		p := partition.NewFree(nl.H, k, 0.05)
+		rng := rand.New(rand.NewPCG(seed, 0xd1))
+		t0 := time.Now()
+		res, err := multilevel.RecursiveBisect(p, multilevel.Config{}, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ref, err := fm.KWayPartition(p, res.Assignment, fm.Config{Policy: fm.CLIP})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return ref.Cut, time.Since(t0)
+	}
+	ks := []int{2, 3, 4, 8}
+	for _, k := range ks {
+		b.Run(fmt.Sprintf("direct/k=%d", k), func(b *testing.B) {
+			var cut int64
+			for i := 0; i < b.N; i++ {
+				cut, _ = runDirect(k, 1)
+			}
+			b.ReportMetric(float64(cut), "cut")
+		})
+		b.Run(fmt.Sprintf("rb/k=%d", k), func(b *testing.B) {
+			var cut int64
+			for i := 0; i < b.N; i++ {
+				cut, _ = runRB(k, 1)
+			}
+			b.ReportMetric(float64(cut), "cut")
+		})
+	}
+	kwayBaselineOnce.Do(func() {
+		base := kwayBaseline{Instance: "IBM01S", Scale: benchScale(), Seeds: 3}
+		for _, k := range ks {
+			row := kwaySample{K: k}
+			var direct, rb float64
+			for seed := uint64(1); seed <= uint64(base.Seeds); seed++ {
+				dc, dt := runDirect(k, seed)
+				rc, rt := runRB(k, seed)
+				direct += float64(dc)
+				rb += float64(rc)
+				row.DirectNS += dt.Nanoseconds()
+				row.RBNS += rt.Nanoseconds()
+			}
+			row.DirectCut = direct / float64(base.Seeds)
+			row.RBCut = rb / float64(base.Seeds)
+			row.DirectNS /= int64(base.Seeds)
+			row.RBNS /= int64(base.Seeds)
+			if row.DirectCut > row.RBCut {
+				b.Errorf("k=%d: direct mean cut %.1f > rb mean cut %.1f (acceptance bar)",
+					k, row.DirectCut, row.RBCut)
+			}
+			base.Rows = append(base.Rows, row)
+		}
+		buf, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_kway.json", append(buf, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+		fmt.Println("wrote BENCH_kway.json")
+	})
+}
+
+var kwayBaselineOnce sync.Once
+
+// kwayBaseline is the schema of BENCH_kway.json.
+type kwayBaseline struct {
+	Instance string       `json:"instance"`
+	Scale    float64      `json:"scale"`
+	Seeds    int          `json:"seeds"`
+	Rows     []kwaySample `json:"rows"`
+}
+
+type kwaySample struct {
+	K         int     `json:"k"`
+	DirectCut float64 `json:"direct_cut"`
+	RBCut     float64 `json:"rb_cut"`
+	DirectNS  int64   `json:"direct_ns"`
+	RBNS      int64   `json:"rb_ns"`
+}

@@ -5,10 +5,16 @@
 // Usage:
 //
 //	hpart -dir bench -base IBM01SA_L0_V [-engine ml|lifo|clip] [-starts 4]
-//	      [-cutoff 0.25] [-seed 1] [-workers 0] [-out solution.sol]
+//	      [-kway direct|rb] [-cutoff 0.25] [-seed 1] [-workers 0]
+//	      [-out solution.sol]
 //
 // With the ml engine, independent starts run on -workers goroutines
-// (0 = GOMAXPROCS); the result is identical for every worker count.
+// (0 = GOMAXPROCS); the result is identical for every worker count. For
+// k > 2 bundles, -kway selects how the ml engine reaches k parts: "direct"
+// (default) coarsens the full k-way problem once and refines with direct
+// k-way FM at every level, "rb" decomposes into recursive multilevel
+// bisections (any k >= 2, not just powers of two) with a final k-way FM
+// polish.
 package main
 
 import (
@@ -29,6 +35,7 @@ func main() {
 		dir     = flag.String("dir", ".", "directory holding the benchmark bundle")
 		base    = flag.String("base", "", "bundle base name (required)")
 		engine  = flag.String("engine", "ml", "partitioning engine: ml (multilevel CLIP), lifo or clip (flat FM)")
+		kway    = flag.String("kway", "direct", "k>2 strategy for the ml engine: direct (k-way V-cycle) or rb (recursive bisection)")
 		starts  = flag.Int("starts", 1, "independent starts; the best result is kept")
 		cutoff  = flag.Float64("cutoff", 1, "pass cutoff fraction after the first pass (1 = none)")
 		seed    = flag.Uint64("seed", 1, "random seed")
@@ -41,13 +48,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*dir, *base, *engine, *starts, *cutoff, *seed, *workers, *out); err != nil {
+	if err := run(*dir, *base, *engine, *kway, *starts, *cutoff, *seed, *workers, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "hpart:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dir, base, engine string, starts int, cutoff float64, seed uint64, workers int, out string) error {
+func run(dir, base, engine, kway string, starts int, cutoff float64, seed uint64, workers int, out string) error {
 	p, err := bookshelf.ReadProblem(dir, base)
 	if err != nil {
 		return err
@@ -61,28 +68,37 @@ func run(dir, base, engine string, starts int, cutoff float64, seed uint64, work
 	switch engine {
 	case "ml":
 		cfg := multilevel.Config{MaxPassFraction: passFraction(cutoff), Workers: workers}
-		if p.K == 2 {
+		switch {
+		case p.K == 2:
 			res, err := multilevel.ParallelMultistart(p, cfg, starts, rng)
 			if err != nil {
 				return err
 			}
 			best, cut = res.Assignment, res.Cut
-			break
-		}
-		// k-way bundles: recursive bisection per start, then direct k-way
-		// FM refinement.
-		for s := 0; s < starts; s++ {
-			res, err := multilevel.RecursiveBisect(p, cfg, rng)
+		case kway == "direct":
+			res, err := multilevel.ParallelMultistartKWay(p, cfg, starts, rng)
 			if err != nil {
 				return err
 			}
-			ref, err := fm.KWayPartition(p, res.Assignment, fm.Config{Policy: fm.CLIP, MaxPassFraction: passFraction(cutoff)})
-			if err != nil {
-				return err
+			best, cut = res.Assignment, res.Cut
+		case kway == "rb":
+			// Recursive bisection per start, then direct k-way FM polish on
+			// the full problem.
+			for s := 0; s < starts; s++ {
+				res, err := multilevel.RecursiveBisect(p, cfg, rng)
+				if err != nil {
+					return err
+				}
+				ref, err := fm.KWayPartition(p, res.Assignment, fm.Config{Policy: fm.CLIP, MaxPassFraction: passFraction(cutoff)})
+				if err != nil {
+					return err
+				}
+				if best == nil || ref.Cut < cut {
+					best, cut = ref.Assignment, ref.Cut
+				}
 			}
-			if best == nil || ref.Cut < cut {
-				best, cut = ref.Assignment, ref.Cut
-			}
+		default:
+			return fmt.Errorf("unknown -kway mode %q (want direct or rb)", kway)
 		}
 	case "lifo", "clip":
 		policy := fm.LIFO

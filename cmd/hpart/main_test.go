@@ -36,7 +36,7 @@ func TestRunMultilevel(t *testing.T) {
 	dir := t.TempDir()
 	p := writeBundle(t, dir, "tiny")
 	out := filepath.Join(dir, "tiny.sol")
-	if err := run(dir, "tiny", "ml", 2, 1, 1, 2, out); err != nil {
+	if err := run(dir, "tiny", "ml", "direct", 2, 1, 1, 2, out); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	f, err := os.Open(out)
@@ -57,7 +57,7 @@ func TestRunFlatEngines(t *testing.T) {
 	dir := t.TempDir()
 	writeBundle(t, dir, "tiny")
 	for _, engine := range []string{"lifo", "clip"} {
-		if err := run(dir, "tiny", engine, 1, 0.25, 2, 1, ""); err != nil {
+		if err := run(dir, "tiny", engine, "direct", 1, 0.25, 2, 1, ""); err != nil {
 			t.Errorf("engine %s: %v", engine, err)
 		}
 	}
@@ -66,10 +66,10 @@ func TestRunFlatEngines(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
 	writeBundle(t, dir, "tiny")
-	if err := run(dir, "tiny", "bogus", 1, 1, 1, 1, ""); err == nil {
+	if err := run(dir, "tiny", "bogus", "direct", 1, 1, 1, 1, ""); err == nil {
 		t.Error("want error for unknown engine")
 	}
-	if err := run(dir, "missing", "ml", 1, 1, 1, 1, ""); err == nil {
+	if err := run(dir, "missing", "ml", "direct", 1, 1, 1, 1, ""); err == nil {
 		t.Error("want error for missing bundle")
 	}
 }
@@ -98,27 +98,59 @@ func TestRunKWayBundle(t *testing.T) {
 	if err := bookshelf.WriteProblem(dir, "quad", p); err != nil {
 		t.Fatal(err)
 	}
-	out := filepath.Join(dir, "quad.sol")
-	if err := run(dir, "quad", "ml", 2, 1, 1, 2, out); err != nil {
-		t.Fatalf("run ml k=4: %v", err)
+	for _, mode := range []string{"direct", "rb"} {
+		out := filepath.Join(dir, "quad_"+mode+".sol")
+		if err := run(dir, "quad", "ml", mode, 2, 1, 1, 2, out); err != nil {
+			t.Fatalf("run ml k=4 -kway=%s: %v", mode, err)
+		}
+		got, err := bookshelf.ReadProblem(dir, "quad")
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := os.Open(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := bookshelf.ReadSolution(f, got)
+		f.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := got.Feasible(a); err != nil {
+			t.Fatalf("-kway=%s solution infeasible: %v", mode, err)
+		}
 	}
-	got, err := bookshelf.ReadProblem(dir, "quad")
-	if err != nil {
-		t.Fatal(err)
+	if err := run(dir, "quad", "ml", "bogus", 1, 1, 1, 1, ""); err == nil {
+		t.Error("want error for unknown -kway mode")
 	}
-	f, err := os.Open(out)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer f.Close()
-	a, err := bookshelf.ReadSolution(f, got)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := got.Feasible(a); err != nil {
-		t.Fatalf("k-way solution infeasible: %v", err)
-	}
-	if err := run(dir, "quad", "lifo", 1, 1, 2, 1, ""); err != nil {
+	if err := run(dir, "quad", "lifo", "direct", 1, 1, 2, 1, ""); err != nil {
 		t.Fatalf("run flat k=4: %v", err)
+	}
+}
+
+// TestRunNonPowerOfTwoK exercises a k=3 bundle end to end in both -kway
+// modes, which the CLI rejected before RecursiveBisect learned uneven splits.
+func TestRunNonPowerOfTwoK(t *testing.T) {
+	dir := t.TempDir()
+	nl, err := gen.Generate(gen.Params{
+		Cells: 150, Pads: 6, RentExponent: 0.65, PinsPerCell: 3.6, AvgNetSize: 3.3, Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := partition.NewFree(nl.H, 3, 0.1)
+	rng := rand.New(rand.NewPCG(13, 13))
+	for v := 0; v < nl.H.NumVertices(); v++ {
+		if nl.H.IsPad(v) {
+			p.Fix(v, rng.IntN(3))
+		}
+	}
+	if err := bookshelf.WriteProblem(dir, "tri", p); err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []string{"direct", "rb"} {
+		if err := run(dir, "tri", "ml", mode, 1, 1, 1, 1, ""); err != nil {
+			t.Errorf("run ml k=3 -kway=%s: %v", mode, err)
+		}
 	}
 }

@@ -1,39 +1,70 @@
-// Package fm implements flat Fiduccia–Mattheyses partitioning with fixed
-// vertices: LIFO and CLIP vertex-selection policies, gain buckets, hard
-// pass-length cutoffs (the paper's Section III heuristic) and per-pass
-// statistics (Table II).
+// Package fm implements Fiduccia–Mattheyses refinement with fixed vertices
+// for any number of parts: a part-count-generic move kernel (LIFO and CLIP
+// vertex-selection policies, per-part gain buckets, hard pass-length cutoffs
+// — the paper's Section III heuristic — and per-pass statistics, Table II).
+// Bipartition is the k = 2 instantiation of the kernel; KWayPartition drives
+// the same kernel for any k up to partition.MaxParts.
 package fm
 
-// gainBuckets is the classic FM bucket structure for one side of a
-// bipartition: an array of doubly-linked lists indexed by (clamped) gain key,
-// with a max-gain cursor. Insertions are at the head, so taking the head of
-// the highest non-empty bucket yields LIFO tie-breaking.
+// bucketNodes is the intrusive doubly-linked-list node store behind one or
+// more gainBuckets. Elements are small integers (vertex ids in the
+// bipartition tests, move ids v*k+t in the kernel); an element lives in at
+// most one bucket at a time, so all k per-part gainBuckets of a kernel share
+// a single node store instead of paying k copies of it.
+type bucketNodes struct {
+	next  []int32 // next[e], -1 terminates
+	prev  []int32 // prev[e], -1 when e is a head
+	inIdx []int32 // bucket index e currently occupies, -1 when absent
+}
+
+// resize prepares the store for numElems elements, reusing backing arrays
+// when large enough. Membership is left unspecified; call clearMembership.
+func (n *bucketNodes) resize(numElems int) {
+	n.next = growInt32(n.next, numElems)
+	n.prev = growInt32(n.prev, numElems)
+	n.inIdx = growInt32(n.inIdx, numElems)
+}
+
+// clearMembership marks every element absent from every bucket sharing this
+// store. Buckets whose heads are cleared alongside (resetHeads) end up empty.
+func (n *bucketNodes) clearMembership() {
+	for i := range n.inIdx {
+		n.inIdx[i] = -1
+	}
+}
+
+// gainBuckets is the classic FM bucket structure for one part: an array of
+// doubly-linked lists indexed by (clamped) gain key, with a max-gain cursor.
+// Insertions are at the head, so taking the head of the highest non-empty
+// bucket yields LIFO tie-breaking. List nodes live in a bucketNodes store
+// that may be shared with the other parts' buckets.
 type gainBuckets struct {
+	nodes  *bucketNodes
 	offset int32   // key k is stored at index k+offset
-	head   []int32 // head[idx] = first vertex, or -1
-	next   []int32 // next[v], -1 terminates (shared per side)
-	prev   []int32 // prev[v], -1 when v is a head
-	inIdx  []int32 // bucket index v currently occupies, -1 when absent
+	head   []int32 // head[idx] = first element, or -1
 	maxIdx int32   // highest index that may be non-empty (monotone estimate)
 	count  int
 }
 
-func newGainBuckets(numVerts int, maxKey int32) *gainBuckets {
-	b := &gainBuckets{}
-	b.resize(numVerts, maxKey)
+// newGainBuckets returns a standalone structure (own node store) for
+// numElems elements and keys in [-maxKey, maxKey].
+func newGainBuckets(numElems int, maxKey int32) *gainBuckets {
+	b := &gainBuckets{nodes: &bucketNodes{}}
+	b.nodes.resize(numElems)
+	b.resizeHeads(maxKey)
+	b.nodes.clearMembership()
 	return b
 }
 
-// resize prepares the structure for numVerts vertices and keys in
-// [-maxKey, maxKey], reusing backing arrays when they are large enough, and
-// leaves it empty (reset).
-func (b *gainBuckets) resize(numVerts int, maxKey int32) {
+// attach points the bucket at a (shared) node store.
+func (b *gainBuckets) attach(nodes *bucketNodes) { b.nodes = nodes }
+
+// resizeHeads prepares the head array for keys in [-maxKey, maxKey], reusing
+// the backing array when large enough, and clears it (resetHeads).
+func (b *gainBuckets) resizeHeads(maxKey int32) {
 	b.offset = maxKey
 	b.head = growInt32(b.head, int(2*maxKey)+1)
-	b.next = growInt32(b.next, numVerts)
-	b.prev = growInt32(b.prev, numVerts)
-	b.inIdx = growInt32(b.inIdx, numVerts)
-	b.reset()
+	b.resetHeads()
 }
 
 // clampKey saturates key into the representable bucket range.
@@ -47,42 +78,44 @@ func (b *gainBuckets) clampKey(key int64) int32 {
 	return int32(key)
 }
 
-func (b *gainBuckets) insert(v int32, key int64) {
+func (b *gainBuckets) insert(e int32, key int64) {
 	idx := b.clampKey(key) + b.offset
-	b.inIdx[v] = idx
-	b.prev[v] = -1
-	b.next[v] = b.head[idx]
+	n := b.nodes
+	n.inIdx[e] = idx
+	n.prev[e] = -1
+	n.next[e] = b.head[idx]
 	if h := b.head[idx]; h >= 0 {
-		b.prev[h] = v
+		n.prev[h] = e
 	}
-	b.head[idx] = v
+	b.head[idx] = e
 	if idx > b.maxIdx {
 		b.maxIdx = idx
 	}
 	b.count++
 }
 
-func (b *gainBuckets) remove(v int32) {
-	idx := b.inIdx[v]
+func (b *gainBuckets) remove(e int32) {
+	n := b.nodes
+	idx := n.inIdx[e]
 	if idx < 0 {
 		return
 	}
-	if p := b.prev[v]; p >= 0 {
-		b.next[p] = b.next[v]
+	if p := n.prev[e]; p >= 0 {
+		n.next[p] = n.next[e]
 	} else {
-		b.head[idx] = b.next[v]
+		b.head[idx] = n.next[e]
 	}
-	if n := b.next[v]; n >= 0 {
-		b.prev[n] = b.prev[v]
+	if nx := n.next[e]; nx >= 0 {
+		n.prev[nx] = n.prev[e]
 	}
-	b.inIdx[v] = -1
+	n.inIdx[e] = -1
 	b.count--
 }
 
-// update moves v to the bucket for key (LIFO position).
-func (b *gainBuckets) update(v int32, key int64) {
-	b.remove(v)
-	b.insert(v, key)
+// update moves e to the bucket for key (LIFO position).
+func (b *gainBuckets) update(e int32, key int64) {
+	b.remove(e)
+	b.insert(e, key)
 }
 
 // settleMax lowers the max cursor past empty buckets and returns it, or -1
@@ -96,14 +129,18 @@ func (b *gainBuckets) settleMax() int32 {
 
 func (b *gainBuckets) empty() bool { return b.count == 0 }
 
-// reset clears the structure for a new pass without reallocating.
-func (b *gainBuckets) reset() {
+// resetHeads clears the bucket's lists without touching the node store;
+// when the store is shared, clear it once separately (clearMembership).
+func (b *gainBuckets) resetHeads() {
 	for i := range b.head {
 		b.head[i] = -1
 	}
-	for i := range b.inIdx {
-		b.inIdx[i] = -1
-	}
 	b.maxIdx = -1
 	b.count = 0
+}
+
+// reset clears a standalone structure (own node store) for reuse.
+func (b *gainBuckets) reset() {
+	b.resetHeads()
+	b.nodes.clearMembership()
 }

@@ -5,7 +5,6 @@ import (
 	"math"
 	"sort"
 
-	"repro/internal/hypergraph"
 	"repro/internal/partition"
 )
 
@@ -71,7 +70,7 @@ func (c Config) maxPasses() int {
 type PassStats struct {
 	Moves int   // moves attempted during the pass
 	Kept  int   // best-prefix length: moves retained after rollback
-	Gain  int64 // cut reduction achieved by the pass (>= 0)
+	Gain  int64 // objective reduction achieved by the pass (>= 0)
 	// Profile, when Config.RecordProfile is set, holds the fraction of the
 	// pass's final gain that had accumulated after 10%, 20%, ..., 100% of
 	// the moves (entries may be negative while the pass explores downhill).
@@ -81,7 +80,7 @@ type PassStats struct {
 	Profile []float64
 }
 
-// Result is the outcome of a flat FM run.
+// Result is the outcome of a flat FM bipartitioning run.
 type Result struct {
 	// Assignment is the best solution found (feasible by construction).
 	Assignment partition.Assignment
@@ -103,16 +102,31 @@ func (r *Result) TotalMoves() int {
 	return n
 }
 
-// engine holds the per-run state of the bipartitioning FM kernel. All bulk
-// arrays live in the embedded Scratch so repeated runs can reuse them.
-type engine struct {
-	p   *partition.Problem
-	h   *hypergraph.Hypergraph
+// kernel is the policy layer of the part-count-generic FM engine: it owns
+// move ordering (LIFO/CLIP seeding, per-part gain buckets over move ids
+// v*k+t, heavier-part-first selection), the pass loop with its cutoffs, and
+// best-prefix rollback. The structural state and gain arithmetic live in the
+// embedded cutModel; for k = 2 the kernel reproduces the dedicated
+// bipartition engine move for move.
+type kernel struct {
+	cutModel
 	cfg Config
+	sc  *Scratch
 
-	a partition.Assignment
-	*Scratch
-	nMovable int
+	gain      []int64 // per move id v*k+t
+	key       []int64 // bucket key per move id (== gain under LIFO)
+	nodes     *bucketNodes
+	buckets   []gainBuckets // buckets[q] holds moves of vertices in part q
+	partOrder []int32
+}
+
+// kernelResult is the policy layer's raw outcome, wrapped into Result or
+// KWayResult by the entry points.
+type kernelResult struct {
+	a       partition.Assignment
+	obj     int64 // final (λ-1) connectivity; equals the cut when k = 2
+	passes  []PassStats
+	movable int
 }
 
 // Bipartition refines the feasible initial assignment with flat FM passes
@@ -142,43 +156,22 @@ func BipartitionWith(p *partition.Problem, initial partition.Assignment, cfg Con
 	if cfg.MaxPassFraction < 0 || cfg.MaxPassFraction > 1 {
 		return nil, fmt.Errorf("fm: MaxPassFraction %v outside [0,1]", cfg.MaxPassFraction)
 	}
-	e := newEngine(p, initial, cfg, sc)
-	return e.run(), nil
+	e := newKernel(p, initial, cfg, sc)
+	r := e.run()
+	return &Result{Assignment: r.a, Cut: r.obj, Passes: r.passes, Movable: r.movable}, nil
 }
 
-func newEngine(p *partition.Problem, initial partition.Assignment, cfg Config, sc *Scratch) *engine {
-	h := p.H
-	nv := h.NumVertices()
-	ne := h.NumNets()
-	nr := h.NumResources()
-	sc.prepare(nv, ne, nr)
-	e := &engine{
-		p:       p,
-		h:       h,
-		cfg:     cfg,
-		a:       initial.Clone(),
-		Scratch: sc,
-	}
-	for en := 0; en < ne; en++ {
-		for _, v := range h.Pins(en) {
-			e.pinCount[e.a[v]][en]++
-		}
-	}
-	for v := 0; v < nv; v++ {
-		for r := 0; r < nr; r++ {
-			e.weight[e.a[v]][r] += h.WeightIn(v, r)
-		}
-		m := p.MaskOf(v)
-		if m.Contains(0) && m.Contains(1) {
-			e.movable[v] = true
-			e.nMovable++
-		}
-	}
+func newKernel(p *partition.Problem, initial partition.Assignment, cfg Config, sc *Scratch) *kernel {
+	e := &kernel{cfg: cfg, sc: sc}
+	e.cutModel.init(p, initial, sc)
+	e.gain = sc.gain
+	e.key = sc.key
 	// Bucket key range: the largest possible |gain| is the max over movable
 	// vertices of the total incident net weight; CLIP deltas can reach twice
 	// that. Saturate beyond.
+	h := p.H
 	var maxAdj int64 = 1
-	for v := 0; v < nv; v++ {
+	for v := 0; v < h.NumVertices(); v++ {
 		if !e.movable[v] {
 			continue
 		}
@@ -194,19 +187,22 @@ func newEngine(p *partition.Problem, initial partition.Assignment, cfg Config, s
 	if maxAdj > maxBucketSpan {
 		maxAdj = maxBucketSpan
 	}
-	sc.sizeBuckets(nv, int32(maxAdj))
+	sc.sizeBuckets(h.NumVertices()*e.k, int32(maxAdj), e.k)
+	e.nodes = &sc.nodes
+	e.buckets = sc.buckets
+	e.partOrder = sc.partOrder
 	return e
 }
 
-func (e *engine) run() *Result {
-	res := &Result{Movable: e.nMovable}
-	cut := partition.Cut(e.h, e.a)
+func (e *kernel) run() *kernelResult {
+	res := &kernelResult{movable: e.nMovable}
+	obj := partition.KMinus1(e.h, e.a)
 	if e.nMovable == 0 {
-		res.Assignment = e.a
-		res.Cut = cut
+		res.a = e.a
+		res.obj = obj
 		return res
 	}
-	moveLog := e.Scratch.moveLog[:0]
+	moveLog := e.sc.moveLog[:0]
 	for pass := 0; pass < e.cfg.maxPasses(); pass++ {
 		limit := e.nMovable
 		if pass > 0 && e.cfg.MaxPassFraction > 0 && e.cfg.MaxPassFraction < 1 {
@@ -220,36 +216,39 @@ func (e *engine) run() *Result {
 			stall = e.cfg.StallCutoff
 		}
 		stats := e.runPass(limit, stall, &moveLog)
-		res.Passes = append(res.Passes, stats)
-		cut -= stats.Gain
+		res.passes = append(res.passes, stats)
+		obj -= stats.Gain
 		if stats.Gain <= 0 {
 			break
 		}
 	}
-	e.Scratch.moveLog = moveLog // keep any growth for the next run
-	res.Assignment = e.a
-	res.Cut = cut
+	e.sc.moveLog = moveLog // keep any growth for the next run
+	res.a = e.a
+	res.obj = obj
 	return res
 }
 
 // runPass executes one FM pass (up to limit moves, ending early after
 // stall consecutive non-improving moves when stall > 0), rolls back to the
 // best prefix, and returns its statistics.
-func (e *engine) runPass(limit, stall int, moveLog *[]int32) PassStats {
+func (e *kernel) runPass(limit, stall int, moveLog *[]moveRec) PassStats {
 	e.initPass()
 	log := (*moveLog)[:0]
 	var cum, bestCum int64
 	bestIdx := 0
 	var cumLog []int64
 	for len(log) < limit {
-		v := e.selectMove()
-		if v < 0 {
+		mid := e.selectMove()
+		if mid < 0 {
 			break
 		}
-		g := e.gain[v]
-		e.applyMove(v)
+		v := mid / int32(e.k)
+		t := int(mid) % e.k
+		g := e.gain[mid]
+		from := e.a[v]
+		e.applyMove(v, t)
 		cum += g
-		log = append(log, v)
+		log = append(log, moveRec{v: v, from: from})
 		if e.cfg.RecordProfile {
 			cumLog = append(cumLog, cum)
 		}
@@ -262,7 +261,7 @@ func (e *engine) runPass(limit, stall int, moveLog *[]int32) PassStats {
 		}
 	}
 	for i := len(log) - 1; i >= bestIdx; i-- {
-		e.undoMove(log[i])
+		e.undoMove(log[i].v, int(log[i].from))
 	}
 	*moveLog = log
 	stats := PassStats{Moves: len(log), Kept: bestIdx, Gain: bestCum}
@@ -287,80 +286,71 @@ func gainProfile(cumLog []int64, best int64) []float64 {
 	return prof
 }
 
-// initPass computes fresh gains and fills the bucket structures. Under CLIP
-// every vertex starts with bucket key zero, but the zero bucket is seeded in
-// ascending actual-gain order so that the LIFO head — the pass's anchor move
-// — is the highest-actual-gain vertex, per Dutt and Deng.
-func (e *engine) initPass() {
-	e.buckets[0].reset()
-	e.buckets[1].reset()
-	h := e.h
-	order := e.Scratch.order[:0]
-	for v := 0; v < h.NumVertices(); v++ {
+// initPass computes fresh gains for every legal (vertex, target) move and
+// fills the per-part bucket structures, seeding vertices in ascending id
+// order and targets in ascending part order. Under CLIP every move starts
+// with bucket key zero, but the zero bucket is seeded in ascending
+// actual-gain order so that the LIFO head — the pass's anchor move — is the
+// highest-actual-gain move, per Dutt and Deng.
+func (e *kernel) initPass() {
+	e.nodes.clearMembership()
+	for q := range e.buckets {
+		e.buckets[q].resetHeads()
+	}
+	k := e.k
+	order := e.sc.order[:0]
+	for v := 0; v < e.h.NumVertices(); v++ {
 		if !e.movable[v] {
 			continue
 		}
 		e.locked[v] = false
-		s := int(e.a[v])
-		var g int64
-		for _, en := range h.NetsOf(v) {
-			w := h.NetWeight(int(en))
-			if e.pinCount[s][en] == 1 {
-				g += w
+		mask := e.p.MaskOf(v)
+		from := int(e.a[v])
+		for t := 0; t < k; t++ {
+			if t == from || !mask.Contains(t) {
+				continue
 			}
-			if e.pinCount[1-s][en] == 0 {
-				g -= w
-			}
+			mid := int32(v*k + t)
+			e.gain[mid] = e.moveGain(int32(v), t)
+			order = append(order, mid)
 		}
-		e.gain[v] = g
-		order = append(order, int32(v))
 	}
 	if e.cfg.Policy == CLIP {
 		sort.Slice(order, func(i, j int) bool { return e.gain[order[i]] < e.gain[order[j]] })
 	}
-	for _, v := range order {
+	for _, mid := range order {
 		if e.cfg.Policy == CLIP {
-			e.key[v] = 0
+			e.key[mid] = 0
 		} else {
-			e.key[v] = e.gain[v]
+			e.key[mid] = e.gain[mid]
 		}
-		e.buckets[e.a[v]].insert(v, e.key[v])
+		e.buckets[e.a[mid/int32(k)]].insert(mid, e.key[mid])
 	}
-	e.Scratch.order = order
+	e.sc.order = order
 }
 
-// feasibleMove reports whether moving v out of side s keeps balance.
-func (e *engine) feasibleMove(v int32, s int) bool {
-	o := 1 - s
-	for r := 0; r < e.h.NumResources(); r++ {
-		w := e.h.WeightIn(int(v), r)
-		if e.weight[s][r]-w < e.p.Balance.Min[s][r] {
-			return false
-		}
-		if e.weight[o][r]+w > e.p.Balance.Max[o][r] {
-			return false
-		}
-	}
-	return true
-}
-
-// bucketScanCap bounds how many infeasible vertices we examine per bucket
+// bucketScanCap bounds how many infeasible moves we examine per bucket
 // before skipping to the next gain level; this keeps selection cheap when a
-// side sits at its balance boundary.
+// part sits at its balance boundary.
 const bucketScanCap = 8
 
-// selectMove picks the highest-key feasible move, scanning the heavier side
-// first so that ties favour the balance-improving direction. Returns -1 when
-// no feasible move exists.
-func (e *engine) selectMove() int32 {
-	first := 0
-	if e.weight[1][0] > e.weight[0][0] {
-		first = 1
+// selectMove picks the highest-key feasible move, scanning parts in
+// decreasing first-resource weight (ties by lower part index) so that ties
+// favour the balance-improving direction. Returns -1 when no feasible move
+// exists.
+func (e *kernel) selectMove() int32 {
+	k := e.k
+	po := e.partOrder
+	for q := 0; q < k; q++ {
+		po[q] = int32(q)
+		for i := q; i > 0 && e.weight[po[i]][0] > e.weight[po[i-1]][0]; i-- {
+			po[i], po[i-1] = po[i-1], po[i]
+		}
 	}
 	best := int32(-1)
 	bestKey := int64(math.MinInt64)
-	for _, s := range [2]int{first, 1 - first} {
-		b := e.buckets[s]
+	for _, q := range po {
+		b := &e.buckets[q]
 		if b.empty() {
 			continue
 		}
@@ -371,9 +361,11 @@ func (e *engine) selectMove() int32 {
 				break
 			}
 			misses := 0
-			for v := b.head[idx]; v >= 0; v = b.next[v] {
-				if e.feasibleMove(v, s) {
-					best, bestKey = v, key
+			for mid := b.head[idx]; mid >= 0; mid = e.nodes.next[mid] {
+				v := mid / int32(k)
+				t := int(mid) % k
+				if e.feasibleMove(v, t) {
+					best, bestKey = mid, key
 					break
 				}
 				if misses++; misses >= bucketScanCap {
@@ -386,82 +378,83 @@ func (e *engine) selectMove() int32 {
 	return best
 }
 
-// applyMove moves v to the other side, locks it, and updates neighbour gains
-// with the standard FM critical-net rules.
-func (e *engine) applyMove(v int32) {
+// applyMove moves v to part t, locks it, and updates affected move gains via
+// the k-way critical-net rules (which reduce to the classic FM rules when
+// k = 2).
+func (e *kernel) applyMove(v int32, t int) {
 	h := e.h
+	k := e.k
 	from := int(e.a[v])
-	to := 1 - from
 	e.locked[v] = true
-	e.buckets[from].remove(v)
+	for x := 0; x < k; x++ {
+		e.buckets[from].remove(v*int32(k) + int32(x))
+	}
 	for _, en := range h.NetsOf(int(v)) {
 		w := h.NetWeight(int(en))
 		pins := h.Pins(int(en))
+		base := int(en) * k
 		// Before the move.
-		switch e.pinCount[to][en] {
+		switch e.pinCount[base+t] {
 		case 0:
-			// Net becomes cut: every free pin would now gain by following.
+			// Part t joins the net: moves toward t stop adding a part.
 			for _, u := range pins {
-				e.deltaGain(u, w)
+				e.deltaMove(u, t, w)
 			}
 		case 1:
-			// The lone to-side pin is no longer critical.
+			// The lone t pin stops being critical for leaving t.
 			for _, u := range pins {
-				if int(e.a[u]) == to {
-					e.deltaGain(u, -w)
+				if u != v && int(e.a[u]) == t {
+					e.deltaAll(u, -w)
 				}
 			}
 		}
-		e.pinCount[from][en]--
-		e.pinCount[to][en]++
+		e.pinCount[base+from]--
+		e.pinCount[base+t]++
 		// After the move.
-		switch e.pinCount[from][en] {
+		switch e.pinCount[base+from] {
 		case 0:
-			// Net is now uncut: no pin gains from crossing anymore.
+			// Part from left the net: moves toward from now add a part.
 			for _, u := range pins {
-				e.deltaGain(u, -w)
+				e.deltaMove(u, from, -w)
 			}
 		case 1:
-			// The lone remaining from-side pin became critical.
+			// The lone remaining from pin became critical.
 			for _, u := range pins {
 				if u != v && int(e.a[u]) == from {
-					e.deltaGain(u, w)
+					e.deltaAll(u, w)
 				}
 			}
 		}
 	}
-	for r := 0; r < h.NumResources(); r++ {
-		w := h.WeightIn(int(v), r)
-		e.weight[from][r] -= w
-		e.weight[to][r] += w
-	}
-	e.a[v] = int8(to)
+	e.moveVertex(v, from, t)
 }
 
-// deltaGain adjusts the gain and bucket position of u if it is still in play.
-func (e *engine) deltaGain(u int32, d int64) {
+// deltaMove adjusts the gain and bucket position of u's move toward part t,
+// if that move is in play.
+func (e *kernel) deltaMove(u int32, t int, d int64) {
+	if e.locked[u] || !e.movable[u] || int(e.a[u]) == t || !e.p.MaskOf(int(u)).Contains(t) {
+		return
+	}
+	mid := u*int32(e.k) + int32(t)
+	e.gain[mid] += d
+	e.key[mid] += d
+	e.buckets[e.a[u]].update(mid, e.key[mid])
+}
+
+// deltaAll adjusts the gains of every move of u (its from-side criticality
+// changed).
+func (e *kernel) deltaAll(u int32, d int64) {
 	if e.locked[u] || !e.movable[u] {
 		return
 	}
-	e.gain[u] += d
-	e.key[u] += d
-	e.buckets[e.a[u]].update(u, e.key[u])
-}
-
-// undoMove reverses applyMove's structural effects (assignment, pin counts,
-// weights). Gains are rebuilt at the next pass, so they are left stale.
-func (e *engine) undoMove(v int32) {
-	h := e.h
-	from := int(e.a[v]) // side v currently occupies (the move's destination)
-	to := 1 - from      // original side
-	for _, en := range h.NetsOf(int(v)) {
-		e.pinCount[from][en]--
-		e.pinCount[to][en]++
+	mask := e.p.MaskOf(int(u))
+	for t := 0; t < e.k; t++ {
+		if t == int(e.a[u]) || !mask.Contains(t) {
+			continue
+		}
+		mid := u*int32(e.k) + int32(t)
+		e.gain[mid] += d
+		e.key[mid] += d
+		e.buckets[e.a[u]].update(mid, e.key[mid])
 	}
-	for r := 0; r < h.NumResources(); r++ {
-		w := h.WeightIn(int(v), r)
-		e.weight[from][r] -= w
-		e.weight[to][r] += w
-	}
-	e.a[v] = int8(to)
 }

@@ -34,59 +34,66 @@ func buildEngineProblem(seed uint64, nv int) (*partition.Problem, partition.Assi
 	return p, initial, true
 }
 
-// TestEngineInvariants drives the bipartition engine and checks that its
+// TestKernelInvariants drives the kernel at k=2 and checks that its
 // incremental bookkeeping (pin counts, part weights) matches a from-scratch
 // recomputation after the run.
-func TestEngineInvariants(t *testing.T) {
+func TestKernelInvariants(t *testing.T) {
 	f := func(seed uint64) bool {
 		p, initial, ok := buildEngineProblem(seed, 40)
 		if !ok {
 			return true
 		}
-		e := newEngine(p, initial, Config{Policy: LIFO}, NewScratch())
+		e := newKernel(p, initial, Config{Policy: LIFO}, NewScratch())
 		res := e.run()
 		h := p.H
+		k := e.k
 		// Recompute pin counts from the final assignment.
 		for en := 0; en < h.NumNets(); en++ {
-			var want [2]int32
+			want := make([]int32, k)
 			for _, v := range h.Pins(en) {
 				want[e.a[v]]++
 			}
-			if e.pinCount[0][en] != want[0] || e.pinCount[1][en] != want[1] {
-				return false
+			for q := 0; q < k; q++ {
+				if e.pinCount[en*k+q] != want[q] {
+					return false
+				}
 			}
 		}
 		// Recompute part weights.
-		var wantW [2]int64
+		wantW := make([]int64, k)
 		for v := 0; v < h.NumVertices(); v++ {
 			wantW[e.a[v]] += h.Weight(v)
 		}
-		if e.weight[0][0] != wantW[0] || e.weight[1][0] != wantW[1] {
-			return false
-		}
-		// The engine's final assignment is the reported one.
-		for v := range res.Assignment {
-			if res.Assignment[v] != e.a[v] {
+		for q := 0; q < k; q++ {
+			if e.weight[q][0] != wantW[q] {
 				return false
 			}
 		}
-		return res.Cut == partition.Cut(h, res.Assignment)
+		// The kernel's final assignment is the reported one.
+		for v := range res.a {
+			if res.a[v] != e.a[v] {
+				return false
+			}
+		}
+		return res.obj == partition.Cut(h, res.a)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
 		t.Fatal(err)
 	}
 }
 
-// TestEngineGainsFreshEachPass verifies initPass recomputes gains that match
-// the textbook FS-TE definition.
-func TestEngineGainsFreshEachPass(t *testing.T) {
+// TestKernelGainsFreshEachPass verifies initPass recomputes gains that match
+// the textbook FS-TE definition at k=2, and that a single applied move keeps
+// every unlocked gain consistent with a from-scratch recomputation.
+func TestKernelGainsFreshEachPass(t *testing.T) {
 	p, initial, ok := buildEngineProblem(7, 30)
 	if !ok {
 		t.Skip("infeasible draw")
 	}
-	e := newEngine(p, initial, Config{Policy: LIFO}, NewScratch())
+	e := newKernel(p, initial, Config{Policy: LIFO}, NewScratch())
 	e.initPass()
 	h := p.H
+	k := e.k
 	for v := 0; v < h.NumVertices(); v++ {
 		if !e.movable[v] {
 			continue
@@ -95,25 +102,23 @@ func TestEngineGainsFreshEachPass(t *testing.T) {
 		var want int64
 		for _, en := range h.NetsOf(v) {
 			w := h.NetWeight(int(en))
-			if e.pinCount[s][en] == 1 {
+			if e.pinCount[int(en)*k+s] == 1 {
 				want += w
 			}
-			if e.pinCount[1-s][en] == 0 {
+			if e.pinCount[int(en)*k+(1-s)] == 0 {
 				want -= w
 			}
 		}
-		if e.gain[v] != want {
-			t.Fatalf("vertex %d gain %d, want %d", v, e.gain[v], want)
+		if got := e.gain[v*k+(1-s)]; got != want {
+			t.Fatalf("vertex %d gain %d, want %d", v, got, want)
 		}
-		// A single applied move must keep neighbour gains consistent with a
-		// from-scratch recomputation.
 	}
 	// Apply the best feasible move and re-verify every unlocked gain.
-	v := e.selectMove()
-	if v < 0 {
+	mid := e.selectMove()
+	if mid < 0 {
 		t.Skip("no feasible move")
 	}
-	e.applyMove(v)
+	e.applyMove(mid/int32(k), int(mid)%k)
 	for u := 0; u < h.NumVertices(); u++ {
 		if !e.movable[u] || e.locked[u] {
 			continue
@@ -122,22 +127,22 @@ func TestEngineGainsFreshEachPass(t *testing.T) {
 		var want int64
 		for _, en := range h.NetsOf(u) {
 			w := h.NetWeight(int(en))
-			if e.pinCount[s][en] == 1 {
+			if e.pinCount[int(en)*k+s] == 1 {
 				want += w
 			}
-			if e.pinCount[1-s][en] == 0 {
+			if e.pinCount[int(en)*k+(1-s)] == 0 {
 				want -= w
 			}
 		}
-		if e.gain[u] != want {
-			t.Fatalf("after move: vertex %d gain %d, want %d", u, e.gain[u], want)
+		if got := e.gain[u*k+(1-s)]; got != want {
+			t.Fatalf("after move: vertex %d gain %d, want %d", u, got, want)
 		}
 	}
 }
 
-// TestKWayEngineGainConsistency checks the k-way engine's incremental gain
-// updates against from-scratch recomputation after a few applied moves.
-func TestKWayEngineGainConsistency(t *testing.T) {
+// TestKWayKernelGainConsistency checks the kernel's incremental gain updates
+// at k=3 against from-scratch recomputation after a few applied moves.
+func TestKWayKernelGainConsistency(t *testing.T) {
 	rng := rand.New(rand.NewPCG(11, 11))
 	b := hypergraph.NewBuilder(1)
 	const nv = 36
@@ -153,14 +158,14 @@ func TestKWayEngineGainConsistency(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e := newKWayEngine(p, initial, Config{Policy: LIFO})
+	e := newKernel(p, initial, Config{Policy: LIFO}, NewScratch())
 	e.initPass()
 	for step := 0; step < 5; step++ {
 		mid := e.selectMove()
 		if mid < 0 {
 			break
 		}
-		e.applyMove(int32(mid/e.k), mid%e.k)
+		e.applyMove(mid/int32(e.k), int(mid)%e.k)
 		for u := int32(0); int(u) < nv; u++ {
 			if e.locked[u] || !e.movable[u] {
 				continue

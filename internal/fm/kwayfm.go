@@ -2,7 +2,6 @@ package fm
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/partition"
 )
@@ -23,9 +22,21 @@ type KWayResult struct {
 // the style of Sanchis: every (vertex, target part) move has its own gain
 // bucket entry, gains measure the (lambda-1) connectivity delta, passes lock
 // each vertex after its first move and roll back to the best prefix, and the
-// Config's policy (LIFO or CLIP) and pass cutoff apply as in bipartitioning.
-// Fixed vertices and OR-region masks are honoured.
+// Config's policy (LIFO or CLIP), pass cutoff and stall cutoff apply as in
+// bipartitioning. Fixed vertices and OR-region masks are honoured. Working
+// state comes from an internal sync.Pool; use KWayPartitionWith to manage
+// the Scratch explicitly.
 func KWayPartition(p *partition.Problem, initial partition.Assignment, cfg Config) (*KWayResult, error) {
+	sc := scratchPool.Get().(*Scratch)
+	defer scratchPool.Put(sc)
+	return KWayPartitionWith(p, initial, cfg, sc)
+}
+
+// KWayPartitionWith is KWayPartition running on a caller-provided Scratch.
+// It drives the same part-count-generic kernel as BipartitionWith — at k = 2
+// the two produce identical refinements — and never aliases scratch memory
+// in its result.
+func KWayPartitionWith(p *partition.Problem, initial partition.Assignment, cfg Config, sc *Scratch) (*KWayResult, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -35,329 +46,13 @@ func KWayPartition(p *partition.Problem, initial partition.Assignment, cfg Confi
 	if cfg.MaxPassFraction < 0 || cfg.MaxPassFraction > 1 {
 		return nil, fmt.Errorf("fm: MaxPassFraction %v outside [0,1]", cfg.MaxPassFraction)
 	}
-	e := newKWayEngine(p, initial, cfg)
-	return e.run(), nil
-}
-
-// kwayEngine holds per-run state. Move ids are v*K + t.
-type kwayEngine struct {
-	p   *partition.Problem
-	cfg Config
-	k   int
-
-	a        partition.Assignment
-	pinCount []int32 // pinCount[e*k+q]
-	weight   [][]int64
-	movable  []bool
-	locked   []bool
-	gain     []int64 // per move id
-	key      []int64 // per move id
-	buckets  *gainBuckets
-	nMovable int
-}
-
-func newKWayEngine(p *partition.Problem, initial partition.Assignment, cfg Config) *kwayEngine {
-	h := p.H
-	k := p.K
-	nv := h.NumVertices()
-	nr := h.NumResources()
-	e := &kwayEngine{
-		p:        p,
-		cfg:      cfg,
-		k:        k,
-		a:        initial.Clone(),
-		pinCount: make([]int32, h.NumNets()*k),
-		weight:   make([][]int64, k),
-		movable:  make([]bool, nv),
-		locked:   make([]bool, nv),
-		gain:     make([]int64, nv*k),
-		key:      make([]int64, nv*k),
-	}
-	for q := 0; q < k; q++ {
-		e.weight[q] = make([]int64, nr)
-	}
-	for en := 0; en < h.NumNets(); en++ {
-		for _, v := range h.Pins(en) {
-			e.pinCount[en*k+int(e.a[v])]++
-		}
-	}
-	all := partition.AllParts(k)
-	for v := 0; v < nv; v++ {
-		for r := 0; r < nr; r++ {
-			e.weight[e.a[v]][r] += h.WeightIn(v, r)
-		}
-		if p.MaskOf(v).Intersect(all).Count() >= 2 {
-			e.movable[v] = true
-			e.nMovable++
-		}
-	}
-	var maxAdj int64 = 1
-	for v := 0; v < nv; v++ {
-		if !e.movable[v] {
-			continue
-		}
-		var s int64
-		for _, en := range h.NetsOf(v) {
-			s += h.NetWeight(int(en))
-		}
-		if 2*s > maxAdj {
-			maxAdj = 2 * s
-		}
-	}
-	const maxBucketSpan = 1 << 21
-	if maxAdj > maxBucketSpan {
-		maxAdj = maxBucketSpan
-	}
-	e.buckets = newGainBuckets(nv*k, int32(maxAdj))
-	return e
-}
-
-func (e *kwayEngine) run() *KWayResult {
-	res := &KWayResult{Movable: e.nMovable}
-	obj := partition.KMinus1(e.p.H, e.a)
-	if e.nMovable == 0 {
-		res.Assignment = e.a
-		res.KMinus1 = obj
-		res.Cut = partition.Cut(e.p.H, e.a)
-		return res
-	}
-	type move struct {
-		v int32
-		f int8 // original part
-	}
-	var log []move
-	maxPasses := e.cfg.maxPasses()
-	for pass := 0; pass < maxPasses; pass++ {
-		limit := e.nMovable
-		if pass > 0 && e.cfg.MaxPassFraction > 0 && e.cfg.MaxPassFraction < 1 {
-			limit = int(e.cfg.MaxPassFraction * float64(e.nMovable))
-			if limit < 1 {
-				limit = 1
-			}
-		}
-		e.initPass()
-		log = log[:0]
-		var cum, bestCum int64
-		bestIdx := 0
-		for len(log) < limit {
-			mid := e.selectMove()
-			if mid < 0 {
-				break
-			}
-			v := int32(mid / e.k)
-			t := mid % e.k
-			g := e.gain[mid]
-			from := e.a[v]
-			e.applyMove(v, t)
-			cum += g
-			log = append(log, move{v: v, f: from})
-			if cum > bestCum {
-				bestCum = cum
-				bestIdx = len(log)
-			}
-		}
-		for i := len(log) - 1; i >= bestIdx; i-- {
-			e.undoMove(log[i].v, int(log[i].f))
-		}
-		res.Passes = append(res.Passes, PassStats{Moves: len(log), Kept: bestIdx, Gain: bestCum})
-		obj -= bestCum
-		if bestCum <= 0 {
-			break
-		}
-	}
-	res.Assignment = e.a
-	res.KMinus1 = obj
-	res.Cut = partition.Cut(e.p.H, e.a)
-	return res
-}
-
-// moveGain computes the lambda-1 delta of moving v to part t from scratch.
-func (e *kwayEngine) moveGain(v int32, t int) int64 {
-	h := e.p.H
-	from := int(e.a[v])
-	var g int64
-	for _, en := range h.NetsOf(int(v)) {
-		w := h.NetWeight(int(en))
-		if e.pinCount[int(en)*e.k+from] == 1 {
-			g += w
-		}
-		if e.pinCount[int(en)*e.k+t] == 0 {
-			g -= w
-		}
-	}
-	return g
-}
-
-func (e *kwayEngine) initPass() {
-	e.buckets.reset()
-	nv := e.p.H.NumVertices()
-	type seeded struct {
-		mid  int32
-		gain int64
-	}
-	var order []seeded
-	for v := 0; v < nv; v++ {
-		if !e.movable[v] {
-			continue
-		}
-		e.locked[v] = false
-		mask := e.p.MaskOf(v)
-		for t := 0; t < e.k; t++ {
-			if t == int(e.a[v]) || !mask.Contains(t) {
-				continue
-			}
-			mid := int32(v*e.k + t)
-			g := e.moveGain(int32(v), t)
-			e.gain[mid] = g
-			order = append(order, seeded{mid, g})
-		}
-	}
-	if e.cfg.Policy == CLIP {
-		sort.Slice(order, func(i, j int) bool { return order[i].gain < order[j].gain })
-	}
-	for _, s := range order {
-		if e.cfg.Policy == CLIP {
-			e.key[s.mid] = 0
-		} else {
-			e.key[s.mid] = s.gain
-		}
-		e.buckets.insert(s.mid, e.key[s.mid])
-	}
-}
-
-func (e *kwayEngine) feasibleMove(v int32, t int) bool {
-	from := int(e.a[v])
-	h := e.p.H
-	for r := 0; r < h.NumResources(); r++ {
-		w := h.WeightIn(int(v), r)
-		if e.weight[from][r]-w < e.p.Balance.Min[from][r] {
-			return false
-		}
-		if e.weight[t][r]+w > e.p.Balance.Max[t][r] {
-			return false
-		}
-	}
-	return true
-}
-
-func (e *kwayEngine) selectMove() int {
-	b := e.buckets
-	idx := b.settleMax()
-	for idx >= 0 {
-		misses := 0
-		for m := b.head[idx]; m >= 0; m = b.next[m] {
-			v := m / int32(e.k)
-			t := int(m) % e.k
-			if e.feasibleMove(v, t) {
-				return int(m)
-			}
-			if misses++; misses >= bucketScanCap {
-				break
-			}
-		}
-		idx--
-		// Keep scanning below the max; unlike the two-sided bipartition
-		// case there is no second structure to fall back to.
-	}
-	return -1
-}
-
-// applyMove moves v to part t, locks it, and updates affected move gains via
-// the k-way critical-net rules.
-func (e *kwayEngine) applyMove(v int32, t int) {
-	h := e.p.H
-	from := int(e.a[v])
-	e.locked[v] = true
-	for x := 0; x < e.k; x++ {
-		e.buckets.remove(v*int32(e.k) + int32(x))
-	}
-	for _, en := range h.NetsOf(int(v)) {
-		w := h.NetWeight(int(en))
-		pins := h.Pins(int(en))
-		base := int(en) * e.k
-		// Before the move.
-		switch e.pinCount[base+t] {
-		case 0:
-			// Part t joins the net: moves toward t stop creating a new part.
-			for _, u := range pins {
-				e.deltaMove(u, t, w)
-			}
-		case 1:
-			// The lone t pin stops being critical for leaving t.
-			for _, u := range pins {
-				if u != v && int(e.a[u]) == t {
-					e.deltaAll(u, -w)
-				}
-			}
-		}
-		e.pinCount[base+from]--
-		e.pinCount[base+t]++
-		// After the move.
-		switch e.pinCount[base+from] {
-		case 0:
-			// Part from left the net: moves toward from now create a part.
-			for _, u := range pins {
-				e.deltaMove(u, from, -w)
-			}
-		case 1:
-			// The lone remaining from pin became critical.
-			for _, u := range pins {
-				if u != v && int(e.a[u]) == from {
-					e.deltaAll(u, w)
-				}
-			}
-		}
-	}
-	for r := 0; r < h.NumResources(); r++ {
-		w := h.WeightIn(int(v), r)
-		e.weight[from][r] -= w
-		e.weight[t][r] += w
-	}
-	e.a[v] = int8(t)
-}
-
-// deltaMove adjusts the gain of u's move toward part t, if that move exists.
-func (e *kwayEngine) deltaMove(u int32, t int, d int64) {
-	if e.locked[u] || !e.movable[u] || int(e.a[u]) == t || !e.p.MaskOf(int(u)).Contains(t) {
-		return
-	}
-	mid := u*int32(e.k) + int32(t)
-	e.gain[mid] += d
-	e.key[mid] += d
-	e.buckets.update(mid, e.key[mid])
-}
-
-// deltaAll adjusts the gains of every move of u (its from-side criticality
-// changed).
-func (e *kwayEngine) deltaAll(u int32, d int64) {
-	if e.locked[u] || !e.movable[u] {
-		return
-	}
-	mask := e.p.MaskOf(int(u))
-	for t := 0; t < e.k; t++ {
-		if t == int(e.a[u]) || !mask.Contains(t) {
-			continue
-		}
-		mid := u*int32(e.k) + int32(t)
-		e.gain[mid] += d
-		e.key[mid] += d
-		e.buckets.update(mid, e.key[mid])
-	}
-}
-
-// undoMove returns v to part f without gain maintenance.
-func (e *kwayEngine) undoMove(v int32, f int) {
-	h := e.p.H
-	cur := int(e.a[v])
-	for _, en := range h.NetsOf(int(v)) {
-		base := int(en) * e.k
-		e.pinCount[base+cur]--
-		e.pinCount[base+f]++
-	}
-	for r := 0; r < h.NumResources(); r++ {
-		w := h.WeightIn(int(v), r)
-		e.weight[cur][r] -= w
-		e.weight[f][r] += w
-	}
-	e.a[v] = int8(f)
+	e := newKernel(p, initial, cfg, sc)
+	r := e.run()
+	return &KWayResult{
+		Assignment: r.a,
+		Cut:        partition.Cut(p.H, r.a),
+		KMinus1:    r.obj,
+		Passes:     r.passes,
+		Movable:    r.movable,
+	}, nil
 }

@@ -1,0 +1,127 @@
+package fm
+
+import (
+	"repro/internal/hypergraph"
+	"repro/internal/partition"
+)
+
+// cutModel is the part-count-generic cut model shared by every FM entry
+// point: per-net pin counts Φ(e, part), per-part multi-resource weights,
+// movability derived from partition.Mask, and the connectivity-aware move
+// gain g(v, target) — the (λ-1) delta of moving v to the target part, which
+// for k = 2 is exactly the classic FM cut gain. The model owns the state and
+// its structural invariants (apply/undo keep Φ and the weights consistent
+// with the assignment); move ordering lives in the policy layer (kernel).
+//
+// All bulk arrays are Scratch-backed so repeated runs reuse them.
+type cutModel struct {
+	p *partition.Problem
+	h *hypergraph.Hypergraph
+	k int
+
+	a        partition.Assignment
+	pinCount []int32   // Φ(e, q) at index e*k+q
+	weight   [][]int64 // [part][resource]
+	movable  []bool    // at least two allowed parts
+	locked   []bool    // moved in the current pass
+	nMovable int
+}
+
+// init sizes the model's arrays out of sc and loads the initial assignment:
+// pin counts, part weights, and movability (a vertex is movable when its
+// allowed mask intersected with the k live parts leaves at least two
+// choices; anything else is a fixed terminal for this run).
+func (m *cutModel) init(p *partition.Problem, initial partition.Assignment, sc *Scratch) {
+	h := p.H
+	k := p.K
+	nv := h.NumVertices()
+	ne := h.NumNets()
+	nr := h.NumResources()
+	sc.prepare(nv, ne, nr, k)
+	m.p, m.h, m.k = p, h, k
+	m.a = initial.Clone()
+	m.pinCount = sc.pinCount
+	m.weight = sc.weight
+	m.movable = sc.movable
+	m.locked = sc.locked
+	m.nMovable = 0
+	for en := 0; en < ne; en++ {
+		for _, v := range h.Pins(en) {
+			m.pinCount[en*k+int(m.a[v])]++
+		}
+	}
+	all := partition.AllParts(k)
+	for v := 0; v < nv; v++ {
+		for r := 0; r < nr; r++ {
+			m.weight[m.a[v]][r] += h.WeightIn(v, r)
+		}
+		if p.MaskOf(v).Intersect(all).Count() >= 2 {
+			m.movable[v] = true
+			m.nMovable++
+		}
+	}
+}
+
+// moveGain computes from scratch the (λ-1) connectivity reduction of moving
+// v from its current part to part t: v leaving a net's last pin in its part
+// removes that part from the net's span (+w); v arriving in a part the net
+// does not yet touch adds one (-w). For k = 2 this is the textbook FS-TE
+// cut gain.
+func (m *cutModel) moveGain(v int32, t int) int64 {
+	h := m.h
+	k := m.k
+	from := int(m.a[v])
+	var g int64
+	for _, en := range h.NetsOf(int(v)) {
+		w := h.NetWeight(int(en))
+		if m.pinCount[int(en)*k+from] == 1 {
+			g += w
+		}
+		if m.pinCount[int(en)*k+t] == 0 {
+			g -= w
+		}
+	}
+	return g
+}
+
+// feasibleMove reports whether moving v to part t keeps every resource of
+// both affected parts within balance.
+func (m *cutModel) feasibleMove(v int32, t int) bool {
+	from := int(m.a[v])
+	for r := 0; r < m.h.NumResources(); r++ {
+		w := m.h.WeightIn(int(v), r)
+		if m.weight[from][r]-w < m.p.Balance.Min[from][r] {
+			return false
+		}
+		if m.weight[t][r]+w > m.p.Balance.Max[t][r] {
+			return false
+		}
+	}
+	return true
+}
+
+// moveVertex commits v's part change: per-resource weights and assignment.
+// Pin counts are shifted net-by-net by the caller (the policy layer reads Φ
+// mid-transition to apply the critical-net gain rules).
+func (m *cutModel) moveVertex(v int32, from, to int) {
+	for r := 0; r < m.h.NumResources(); r++ {
+		w := m.h.WeightIn(int(v), r)
+		m.weight[from][r] -= w
+		m.weight[to][r] += w
+	}
+	m.a[v] = int8(to)
+}
+
+// undoMove reverses a committed move structurally (pin counts, weights,
+// assignment), returning v to part f. Gains are rebuilt at the next pass, so
+// they are left stale.
+func (m *cutModel) undoMove(v int32, f int) {
+	k := m.k
+	cur := int(m.a[v])
+	for _, en := range m.h.NetsOf(int(v)) {
+		base := int(en) * k
+		m.pinCount[base+cur]--
+		m.pinCount[base+f]++
+	}
+	m.moveVertex(v, cur, f)
+}

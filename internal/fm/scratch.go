@@ -2,26 +2,37 @@ package fm
 
 import "sync"
 
-// Scratch holds the reusable working state of the bipartition engine: gain
-// and key arrays, lock/movable flags, per-side pin counts and part weights,
-// the two gain-bucket structures, and the per-pass ordering and move-log
-// slices. A Scratch can be reused across runs — including runs on different
-// problems; every array is (re)sized and cleared at the start of a run — so
-// repeated FM starts stop paying the engine's allocation cost.
+// moveRec logs one applied move for best-prefix rollback: the vertex and the
+// part it came from.
+type moveRec struct {
+	v    int32
+	from int8
+}
+
+// Scratch holds the reusable working state of the FM kernel for any part
+// count k: gain and key arrays (one slot per move id v*k+t), lock/movable
+// flags, flattened per-net pin counts Φ(e, part), per-part weights, the k
+// per-part gain-bucket structures over a shared node store, and the per-pass
+// ordering and move-log slices. A Scratch can be reused across runs —
+// including runs on different problems or different k; every array is
+// (re)sized and cleared at the start of a run — so repeated FM starts stop
+// paying the kernel's allocation cost.
 //
 // A Scratch must not be used by two runs concurrently. Results returned by
-// the engine never alias scratch memory, so a Scratch may be released (or
+// the kernel never alias scratch memory, so a Scratch may be released (or
 // pooled) as soon as the run returns.
 type Scratch struct {
-	movable  []bool
-	locked   []bool
-	gain     []int64
-	key      []int64
-	pinCount [2][]int32
-	weight   [2][]int64
-	buckets  [2]gainBuckets
-	order    []int32
-	moveLog  []int32
+	movable   []bool
+	locked    []bool
+	gain      []int64 // per move id v*k+t
+	key       []int64
+	pinCount  []int32   // per (net, part) at e*k+q
+	weight    [][]int64 // [part][resource]
+	nodes     bucketNodes
+	buckets   []gainBuckets // one per part, sharing nodes
+	order     []int32       // move ids in pass-seeding order
+	moveLog   []moveRec
+	partOrder []int32 // parts in selection-priority order
 }
 
 // NewScratch returns an empty Scratch; arrays are allocated lazily on first
@@ -29,15 +40,15 @@ type Scratch struct {
 func NewScratch() *Scratch { return &Scratch{} }
 
 // scratchPool caches Scratch values for callers of the non-With entry points
-// (Bipartition, RunFromRandom). With a bounded worker pool upstream, each
-// worker effectively keeps one warm Scratch, so repeated starts on the same
-// problem allocate almost nothing.
+// (Bipartition, KWayPartition, RunFromRandom). With a bounded worker pool
+// upstream, each worker effectively keeps one warm Scratch, so repeated
+// starts on the same problem allocate almost nothing.
 var scratchPool = sync.Pool{New: func() any { return NewScratch() }}
 
-// prepare sizes the vertex/net/resource arrays for a run and clears the
-// state the engine accumulates into. The gain buckets are sized separately
-// (by sizeBuckets) once the engine knows the key span.
-func (s *Scratch) prepare(nv, ne, nr int) {
+// prepare sizes the vertex/net/resource/part arrays for a run and clears the
+// state the kernel accumulates into. The gain buckets are sized separately
+// (by sizeBuckets) once the kernel knows the key span.
+func (s *Scratch) prepare(nv, ne, nr, k int) {
 	s.movable = growBool(s.movable, nv)
 	for i := range s.movable {
 		s.movable[i] = false
@@ -47,16 +58,20 @@ func (s *Scratch) prepare(nv, ne, nr int) {
 		s.locked[i] = false
 	}
 	// gain/key are fully rewritten by initPass before being read; only size.
-	s.gain = growInt64(s.gain, nv)
-	s.key = growInt64(s.key, nv)
-	for side := 0; side < 2; side++ {
-		s.pinCount[side] = growInt32(s.pinCount[side], ne)
-		for i := range s.pinCount[side] {
-			s.pinCount[side][i] = 0
-		}
-		s.weight[side] = growInt64(s.weight[side], nr)
-		for i := range s.weight[side] {
-			s.weight[side][i] = 0
+	s.gain = growInt64(s.gain, nv*k)
+	s.key = growInt64(s.key, nv*k)
+	s.pinCount = growInt32(s.pinCount, ne*k)
+	for i := range s.pinCount {
+		s.pinCount[i] = 0
+	}
+	if cap(s.weight) < k {
+		s.weight = append(s.weight[:cap(s.weight)], make([][]int64, k-cap(s.weight))...)
+	}
+	s.weight = s.weight[:k]
+	for q := 0; q < k; q++ {
+		s.weight[q] = growInt64(s.weight[q], nr)
+		for i := range s.weight[q] {
+			s.weight[q][i] = 0
 		}
 	}
 	if cap(s.order) < nv {
@@ -64,16 +79,25 @@ func (s *Scratch) prepare(nv, ne, nr int) {
 	}
 	s.order = s.order[:0]
 	if cap(s.moveLog) < nv {
-		s.moveLog = make([]int32, 0, nv)
+		s.moveLog = make([]moveRec, 0, nv)
 	}
 	s.moveLog = s.moveLog[:0]
+	s.partOrder = growInt32(s.partOrder, k)
 }
 
-// sizeBuckets (re)sizes both gain-bucket sides for nv vertices and the key
-// span [-maxKey, maxKey], leaving them empty.
-func (s *Scratch) sizeBuckets(nv int, maxKey int32) {
-	s.buckets[0].resize(nv, maxKey)
-	s.buckets[1].resize(nv, maxKey)
+// sizeBuckets (re)sizes the k per-part gain-bucket structures for numMoves
+// move ids and the key span [-maxKey, maxKey], leaving them all empty.
+func (s *Scratch) sizeBuckets(numMoves int, maxKey int32, k int) {
+	s.nodes.resize(numMoves)
+	s.nodes.clearMembership()
+	if cap(s.buckets) < k {
+		s.buckets = append(s.buckets[:cap(s.buckets)], make([]gainBuckets, k-cap(s.buckets))...)
+	}
+	s.buckets = s.buckets[:k]
+	for q := 0; q < k; q++ {
+		s.buckets[q].attach(&s.nodes)
+		s.buckets[q].resizeHeads(maxKey)
+	}
 }
 
 // growBool returns a length-n slice, reusing s's backing array when large

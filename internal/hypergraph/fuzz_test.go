@@ -1,0 +1,101 @@
+package hypergraph
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzBuilder drives Builder with an arbitrary byte-encoded sequence of
+// vertices, weights and nets. For every input, Build must either return an
+// error or a hypergraph whose CSR cross-check (Validate: both incidence
+// directions agree, offsets nondecreasing, cached totals correct) holds and
+// whose per-net pin counts match what the builder options imply.
+func FuzzBuilder(f *testing.F) {
+	f.Add([]byte{2, 1, 1, 2, 0, 1}, false, false)
+	f.Add([]byte{3, 0, 0, 0, 3, 0, 1, 2, 2, 0, 0}, true, true)
+	f.Add([]byte{1, 5, 2, 0, 0}, true, false)
+	f.Fuzz(func(t *testing.T, data []byte, dedup, dropSingles bool) {
+		b := NewBuilder(1 + int(u8(data, 0))%3)
+		b.DedupPins = dedup
+		b.DropSingletons = dropSingles
+		pos := 1
+
+		// Vertices: count then one weight byte each (occasionally negative to
+		// exercise the weight validation path).
+		nv := int(u8(data, pos)) % 64
+		pos++
+		for v := 0; v < nv; v++ {
+			w := int64(u8(data, pos)) - 4
+			pos++
+			b.AddVertex(w)
+			if v%5 == 1 {
+				b.SetPad(v, true)
+			}
+		}
+
+		// Nets: size byte then raw pin bytes, until data runs out. Pins are
+		// taken modulo nv+2 so some reference unknown vertices.
+		for pos < len(data) {
+			size := int(u8(data, pos)) % 9
+			pos++
+			pins := make([]int, 0, size)
+			for i := 0; i < size; i++ {
+				pins = append(pins, int(u8(data, pos))%(nv+2)-1)
+				pos++
+			}
+			b.AddWeightedNet(int64(u8(data, pos))-2, pins...)
+			pos++
+		}
+
+		h, err := b.Build()
+		if err != nil {
+			return
+		}
+		if verr := h.Validate(); verr != nil {
+			t.Fatalf("Build succeeded but Validate failed: %v", verr)
+		}
+		if h.NumVertices() != nv {
+			t.Fatalf("NumVertices = %d, want %d", h.NumVertices(), nv)
+		}
+		// Build may only succeed if every kept net has >= 2 distinct in-range
+		// pins, no duplicates survive, and all weights are nonnegative.
+		for e := 0; e < h.NumNets(); e++ {
+			pins := h.Pins(e)
+			if len(pins) < 2 {
+				t.Fatalf("net %d kept with %d pins", e, len(pins))
+			}
+			seen := map[int32]bool{}
+			for _, v := range pins {
+				if v < 0 || int(v) >= nv {
+					t.Fatalf("net %d pin %d out of range", e, v)
+				}
+				if seen[v] {
+					t.Fatalf("net %d has duplicate pin %d after Build", e, v)
+				}
+				seen[v] = true
+			}
+			if h.NetWeight(e) < 0 {
+				t.Fatalf("net %d kept with negative weight %d", e, h.NetWeight(e))
+			}
+		}
+		if !dropSingles && h.NumNets() != b.NumNets() {
+			t.Fatalf("nets dropped without DropSingletons: %d -> %d", b.NumNets(), h.NumNets())
+		}
+		for v := 0; v < nv; v++ {
+			if h.Weight(v) < 0 {
+				t.Fatalf("vertex %d kept with negative weight", v)
+			}
+		}
+	})
+}
+
+// u8 reads byte i of data, treating missing bytes as a cheap hash of the
+// index so short inputs still produce varied structures.
+func u8(data []byte, i int) uint8 {
+	if i < len(data) {
+		return data[i]
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(i)*0x9e3779b97f4a7c15)
+	return buf[0]
+}

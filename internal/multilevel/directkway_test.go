@@ -1,0 +1,206 @@
+package multilevel_test
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"repro/internal/multilevel"
+	"repro/internal/partition"
+)
+
+// directKs is the part-count sweep the issue requires for direct k-way
+// coverage; note 3 is not a power of two.
+var directKs = []int{2, 3, 4, 8}
+
+// TestPartitionKWayFeasible checks feasibility and full part usage of the
+// direct driver on naturally k-clustered instances for every k in the sweep.
+func TestPartitionKWayFeasible(t *testing.T) {
+	for _, k := range directKs {
+		t.Run(fmt.Sprintf("k%d", k), func(t *testing.T) {
+			h := clusters(k, 80, 3)
+			p := partition.NewFree(h, k, 0.1)
+			res, err := multilevel.PartitionKWay(p, multilevel.Config{}, rand.New(rand.NewPCG(31, uint64(k))))
+			if err != nil {
+				t.Fatalf("PartitionKWay: %v", err)
+			}
+			if err := p.Feasible(res.Assignment); err != nil {
+				t.Fatalf("infeasible: %v", err)
+			}
+			if res.Cut != partition.Cut(h, res.Assignment) {
+				t.Errorf("reported cut %d != recomputed %d", res.Cut, partition.Cut(h, res.Assignment))
+			}
+			counts := make(map[int8]int)
+			for _, q := range res.Assignment {
+				counts[q]++
+			}
+			if len(counts) != k {
+				t.Errorf("used %d parts, want %d", len(counts), k)
+			}
+			if res.Levels == 0 {
+				t.Errorf("expected coarsening levels > 0 for %d vertices", h.NumVertices())
+			}
+		})
+	}
+}
+
+// TestPartitionKWayHonorsFixedVertices fixes a slice of each natural cluster
+// into a chosen part and checks the direct driver keeps every fixed vertex in
+// place at every k.
+func TestPartitionKWayHonorsFixedVertices(t *testing.T) {
+	for _, k := range directKs {
+		t.Run(fmt.Sprintf("k%d", k), func(t *testing.T) {
+			const n = 60
+			h := clusters(k, n, 3)
+			p := partition.NewFree(h, k, 0.1)
+			// Fix the first quarter of each cluster into its natural part.
+			for g := 0; g < k; g++ {
+				for i := 0; i < n/4; i++ {
+					p.Fix(g*n+i, g)
+				}
+			}
+			res, err := multilevel.PartitionKWay(p, multilevel.Config{}, rand.New(rand.NewPCG(32, uint64(k))))
+			if err != nil {
+				t.Fatalf("PartitionKWay: %v", err)
+			}
+			if err := p.Feasible(res.Assignment); err != nil {
+				t.Fatalf("infeasible: %v", err)
+			}
+			for g := 0; g < k; g++ {
+				for i := 0; i < n/4; i++ {
+					if got := int(res.Assignment[g*n+i]); got != g {
+						t.Fatalf("fixed vertex %d moved to part %d, want %d", g*n+i, got, g)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPartitionKWayHonorsORMasks restricts a slice of vertices to a two-part
+// OR-region and checks the direct driver lands each inside its region at
+// every level of the V-cycle-free pipeline.
+func TestPartitionKWayHonorsORMasks(t *testing.T) {
+	for _, k := range directKs {
+		if k < 3 {
+			continue // an OR over both parts of k=2 is unconstrained
+		}
+		t.Run(fmt.Sprintf("k%d", k), func(t *testing.T) {
+			const n = 60
+			h := clusters(k, n, 3)
+			p := partition.NewFree(h, k, 0.1)
+			// Every 7th vertex may live only in part 0 or part k-1.
+			region := partition.Single(0).With(k - 1)
+			var restricted []int
+			for v := 0; v < h.NumVertices(); v += 7 {
+				p.Restrict(v, region)
+				restricted = append(restricted, v)
+			}
+			res, err := multilevel.PartitionKWay(p, multilevel.Config{}, rand.New(rand.NewPCG(33, uint64(k))))
+			if err != nil {
+				t.Fatalf("PartitionKWay: %v", err)
+			}
+			if err := p.Feasible(res.Assignment); err != nil {
+				t.Fatalf("infeasible: %v", err)
+			}
+			for _, v := range restricted {
+				if q := int(res.Assignment[v]); !region.Contains(q) {
+					t.Fatalf("OR-region vertex %d in part %d, want within mask %b", v, q, region)
+				}
+			}
+		})
+	}
+}
+
+// TestMultistartKWaySerialParallelEquivalence verifies the determinism
+// contract for the direct driver: serial MultistartKWay and
+// ParallelMultistartKWay with 1, 2 and 5 workers all return bit-identical
+// results from the same incoming rng state. Runs under -race in CI.
+func TestMultistartKWaySerialParallelEquivalence(t *testing.T) {
+	for _, k := range []int{3, 4} {
+		t.Run(fmt.Sprintf("k%d", k), func(t *testing.T) {
+			h := clusters(k, 50, 3)
+			p := partition.NewFree(h, k, 0.1)
+			// Mix in fixed vertices so the contract is exercised in the
+			// paper's regime.
+			for g := 0; g < k; g++ {
+				p.Fix(g*50, g)
+			}
+			const starts = 6
+			serial, err := multilevel.MultistartKWay(p, multilevel.Config{}, starts, rand.New(rand.NewPCG(77, uint64(k))))
+			if err != nil {
+				t.Fatalf("MultistartKWay: %v", err)
+			}
+			for _, workers := range []int{1, 2, 5} {
+				cfg := multilevel.Config{Workers: workers}
+				par, err := multilevel.ParallelMultistartKWay(p, cfg, starts, rand.New(rand.NewPCG(77, uint64(k))))
+				if err != nil {
+					t.Fatalf("ParallelMultistartKWay(workers=%d): %v", workers, err)
+				}
+				if par.Cut != serial.Cut || !reflect.DeepEqual(par.Assignment, serial.Assignment) {
+					t.Errorf("workers=%d: parallel result differs from serial (cut %d vs %d)", workers, par.Cut, serial.Cut)
+				}
+				if par.Starts != serial.Starts {
+					t.Errorf("workers=%d: Starts = %d, want %d", workers, par.Starts, serial.Starts)
+				}
+			}
+		})
+	}
+}
+
+// TestDirectKWayNotWorseThanRB is the acceptance gate: over the shared
+// presets/seeds below, direct k-way's mean cut must not exceed recursive
+// bisection's. Both run as single starts per seed from identical rng states.
+func TestDirectKWayNotWorseThanRB(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quality comparison is moderately expensive")
+	}
+	for _, k := range []int{3, 4, 8} {
+		t.Run(fmt.Sprintf("k%d", k), func(t *testing.T) {
+			h := clusters(k, 70, 4)
+			p := partition.NewFree(h, k, 0.1)
+			var sumDirect, sumRB int64
+			const seeds = 5
+			for s := 0; s < seeds; s++ {
+				direct, err := multilevel.PartitionKWay(p, multilevel.Config{}, rand.New(rand.NewPCG(91, uint64(100*k+s))))
+				if err != nil {
+					t.Fatalf("PartitionKWay seed %d: %v", s, err)
+				}
+				rb, err := multilevel.RecursiveBisect(p, multilevel.Config{}, rand.New(rand.NewPCG(91, uint64(100*k+s))))
+				if err != nil {
+					t.Fatalf("RecursiveBisect seed %d: %v", s, err)
+				}
+				sumDirect += direct.Cut
+				sumRB += rb.Cut
+			}
+			t.Logf("k=%d mean cut: direct %.1f, rb %.1f", k, float64(sumDirect)/seeds, float64(sumRB)/seeds)
+			if sumDirect > sumRB {
+				t.Errorf("direct k-way mean cut %.1f exceeds recursive bisection's %.1f", float64(sumDirect)/seeds, float64(sumRB)/seeds)
+			}
+		})
+	}
+}
+
+// TestVCycleKWay checks the generalized V-cycle accepts k-way problems and
+// never worsens a feasible solution.
+func TestVCycleKWay(t *testing.T) {
+	const k = 4
+	h := clusters(k, 60, 3)
+	p := partition.NewFree(h, k, 0.1)
+	rng := rand.New(rand.NewPCG(55, 55))
+	res, err := multilevel.PartitionKWay(p, multilevel.Config{}, rng)
+	if err != nil {
+		t.Fatalf("PartitionKWay: %v", err)
+	}
+	vres, err := multilevel.VCycle(p, res.Assignment, multilevel.Config{}, rng)
+	if err != nil {
+		t.Fatalf("VCycle k=%d: %v", k, err)
+	}
+	if err := p.Feasible(vres.Assignment); err != nil {
+		t.Fatalf("infeasible after V-cycle: %v", err)
+	}
+	if vres.Cut > res.Cut {
+		t.Errorf("V-cycle worsened cut: %d -> %d", res.Cut, vres.Cut)
+	}
+}

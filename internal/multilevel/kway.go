@@ -2,15 +2,16 @@ package multilevel
 
 import (
 	"fmt"
-	"math/bits"
 	"math/rand/v2"
 
 	"repro/internal/hypergraph"
 	"repro/internal/partition"
 )
 
-// RecursiveBisect partitions a k-way problem (k a power of two) by recursive
+// RecursiveBisect partitions a k-way problem (any k >= 2) by recursive
 // multilevel bisection, the standard construction for top-down placement.
+// Part ranges split ⌈k/2⌉ / ⌊k/2⌋, with each side's balance window being the
+// sum of its parts' windows, so non-power-of-two k gets proportional targets.
 // Fixed and OR-region masks are honoured at every level: a vertex whose mask
 // only intersects one side of the current split is a fixed terminal for that
 // bisection. Nets that leave the current block are dropped from the
@@ -19,9 +20,6 @@ import (
 func RecursiveBisect(p *partition.Problem, cfg Config, rng *rand.Rand) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
-	}
-	if bits.OnesCount(uint(p.K)) != 1 {
-		return nil, fmt.Errorf("multilevel: RecursiveBisect requires k to be a power of two, got %d", p.K)
 	}
 	nv := p.H.NumVertices()
 	out := make(partition.Assignment, nv)
@@ -50,7 +48,7 @@ func bisectRange(root *partition.Problem, cfg Config, rng *rand.Rand, sub *hyper
 		}
 		return nil
 	}
-	mid := (lo + hi) / 2
+	mid := lo + (hi-lo+1)/2
 
 	// Side masks in the root's part space.
 	var leftMask, rightMask partition.Mask

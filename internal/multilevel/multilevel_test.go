@@ -204,11 +204,25 @@ func TestRecursiveBisectRespectsFixed(t *testing.T) {
 	}
 }
 
-func TestRecursiveBisectErrors(t *testing.T) {
+// TestRecursiveBisectNonPowerOfTwo checks that k=3 (formerly rejected) now
+// splits ⌈k/2⌉/⌊k/2⌋ with proportional targets and yields a feasible,
+// near-natural-clustering partition.
+func TestRecursiveBisectNonPowerOfTwo(t *testing.T) {
 	h := clusters(3, 30, 2)
 	p := partition.NewFree(h, 3, 0.1)
-	if _, err := multilevel.RecursiveBisect(p, multilevel.Config{}, rand.New(rand.NewPCG(10, 10))); err == nil {
-		t.Error("want error for k not power of two")
+	res, err := multilevel.RecursiveBisect(p, multilevel.Config{}, rand.New(rand.NewPCG(10, 10)))
+	if err != nil {
+		t.Fatalf("RecursiveBisect k=3: %v", err)
+	}
+	if err := p.Feasible(res.Assignment); err != nil {
+		t.Errorf("infeasible: %v", err)
+	}
+	counts := make(map[int8]int)
+	for _, q := range res.Assignment {
+		counts[q]++
+	}
+	if len(counts) != 3 {
+		t.Errorf("used %d parts, want 3", len(counts))
 	}
 }
 

@@ -35,12 +35,16 @@ func startRNG(baseSeed uint64, i int) *rand.Rand {
 	return rand.New(rand.NewPCG(baseSeed, uint64(i)))
 }
 
-// runStarts computes starts [lo, hi) on up to `workers` goroutines, writing
-// each start's outcome at its index in results/errs.
-func runStarts(p *partition.Problem, cfg Config, baseSeed uint64, lo, hi, workers int, results []*Result, errs []error) {
+// partitionFunc is one single-start partitioner (Partition or PartitionKWay);
+// the parallel drivers are generic over it.
+type partitionFunc func(p *partition.Problem, cfg Config, rng *rand.Rand) (*Result, error)
+
+// runStarts computes starts [lo, hi) of `part` on up to `workers` goroutines,
+// writing each start's outcome at its index in results/errs.
+func runStarts(part partitionFunc, p *partition.Problem, cfg Config, baseSeed uint64, lo, hi, workers int, results []*Result, errs []error) {
 	par.ForEach(hi-lo, workers, func(i int) {
 		idx := lo + i
-		results[idx], errs[idx] = Partition(p, cfg, startRNG(baseSeed, idx))
+		results[idx], errs[idx] = part(p, cfg, startRNG(baseSeed, idx))
 	})
 }
 
@@ -49,13 +53,24 @@ func runStarts(p *partition.Problem, cfg Config, baseSeed uint64, lo, hi, worker
 // It returns a Result bit-identical to the serial Multistart for the same
 // incoming rng state, for any worker count.
 func ParallelMultistart(p *partition.Problem, cfg Config, starts int, rng *rand.Rand) (*Result, error) {
+	return parallelMultistart(Partition, p, cfg, starts, rng)
+}
+
+// ParallelMultistartKWay is MultistartKWay on a bounded worker pool. It obeys
+// the same determinism contract: for the same incoming rng state it returns a
+// Result bit-identical to the serial MultistartKWay, for any worker count.
+func ParallelMultistartKWay(p *partition.Problem, cfg Config, starts int, rng *rand.Rand) (*Result, error) {
+	return parallelMultistart(PartitionKWay, p, cfg, starts, rng)
+}
+
+func parallelMultistart(part partitionFunc, p *partition.Problem, cfg Config, starts int, rng *rand.Rand) (*Result, error) {
 	if starts < 1 {
 		starts = 1
 	}
 	baseSeed := rng.Uint64()
 	results := make([]*Result, starts)
 	errs := make([]error, starts)
-	runStarts(p, cfg, baseSeed, 0, starts, cfg.Workers, results, errs)
+	runStarts(part, p, cfg, baseSeed, 0, starts, cfg.Workers, results, errs)
 	var best *Result
 	for i := 0; i < starts; i++ {
 		if errs[i] != nil {
@@ -99,7 +114,7 @@ func ParallelAdaptiveMultistart(p *partition.Problem, cfg Config, maxStarts, pat
 			if batch > maxStarts-computed {
 				batch = maxStarts - computed
 			}
-			runStarts(p, cfg, baseSeed, computed, computed+batch, workers, results, errs)
+			runStarts(Partition, p, cfg, baseSeed, computed, computed+batch, workers, results, errs)
 			computed += batch
 		}
 		// Replay the serial stopping semantics: start `used` counts toward

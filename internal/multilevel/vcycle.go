@@ -18,11 +18,10 @@ import (
 // overall cost-runtime profile"); it is provided here both for completeness
 // and so that the claim itself can be measured (see BenchmarkVCycleAblation).
 // It returns the improved assignment and cut; the input assignment is not
-// modified.
+// modified. Works for any k: 2-way problems refine with fm.Bipartition and
+// k-way ones with direct k-way FM, since restricted coarsening is
+// part-count-agnostic.
 func VCycle(p *partition.Problem, a partition.Assignment, cfg Config, rng *rand.Rand) (*Result, error) {
-	if p.K != 2 {
-		return nil, fmt.Errorf("multilevel: VCycle requires k=2, got k=%d", p.K)
-	}
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -30,10 +29,7 @@ func VCycle(p *partition.Problem, a partition.Assignment, cfg Config, rng *rand.
 		return nil, fmt.Errorf("multilevel: VCycle input: %w", err)
 	}
 	cfg = cfg.effective()
-	maxCluster := p.Balance.Max[0][0] / 20
-	if maxCluster < 1 {
-		maxCluster = 1
-	}
+	maxCluster := kwayMaxCluster(p)
 
 	// Restricted coarsening stack; each level carries the projection of a.
 	type vlevel struct {
@@ -62,11 +58,21 @@ func VCycle(p *partition.Problem, a partition.Assignment, cfg Config, rng *rand.
 	fmCfg := fm.Config{Policy: cfg.Policy, MaxPassFraction: cfg.MaxPassFraction, MaxPasses: cfg.RefineMaxPasses}
 	sol := levels[len(levels)-1].sol
 	for lvl := len(levels) - 1; lvl >= 0; lvl-- {
-		res, err := fm.Bipartition(levels[lvl].problem, sol, fmCfg)
-		if err != nil {
-			return nil, fmt.Errorf("multilevel: V-cycle refining level %d: %w", lvl, err)
+		var refined partition.Assignment
+		if p.K == 2 {
+			res, err := fm.Bipartition(levels[lvl].problem, sol, fmCfg)
+			if err != nil {
+				return nil, fmt.Errorf("multilevel: V-cycle refining level %d: %w", lvl, err)
+			}
+			refined = res.Assignment
+		} else {
+			res, err := fm.KWayPartition(levels[lvl].problem, sol, fmCfg)
+			if err != nil {
+				return nil, fmt.Errorf("multilevel: V-cycle refining level %d: %w", lvl, err)
+			}
+			refined = res.Assignment
 		}
-		sol = res.Assignment
+		sol = refined
 		if lvl > 0 {
 			sol = project(sol, levels[lvl-1].clusterOf)
 		}
@@ -86,6 +92,20 @@ func PartitionWithVCycles(p *partition.Problem, cfg Config, n int, rng *rand.Ran
 	if err != nil {
 		return nil, err
 	}
+	return vcycleLoop(p, res, cfg, n, rng)
+}
+
+// PartitionKWayWithVCycles runs PartitionKWay followed by up to n direct
+// k-way V-cycles, stopping early when a cycle fails to improve the cut.
+func PartitionKWayWithVCycles(p *partition.Problem, cfg Config, n int, rng *rand.Rand) (*Result, error) {
+	res, err := PartitionKWay(p, cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	return vcycleLoop(p, res, cfg, n, rng)
+}
+
+func vcycleLoop(p *partition.Problem, res *Result, cfg Config, n int, rng *rand.Rand) (*Result, error) {
 	for i := 0; i < n; i++ {
 		vres, err := VCycle(p, res.Assignment, cfg, rng)
 		if err != nil {

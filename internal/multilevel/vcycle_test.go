@@ -60,8 +60,10 @@ func TestVCycleErrors(t *testing.T) {
 	h := clusters(2, 50, 2)
 	rng := rand.New(rand.NewPCG(23, 23))
 	p4 := partition.NewFree(h, 4, 0.1)
+	// All-zeros is infeasible for a balanced 4-way problem; VCycle accepts
+	// any k but must still reject infeasible inputs.
 	if _, err := multilevel.VCycle(p4, make(partition.Assignment, h.NumVertices()), multilevel.Config{}, rng); err == nil {
-		t.Error("want error for k != 2")
+		t.Error("want error for infeasible k-way input")
 	}
 	p := partition.NewBipartition(h, 0.02)
 	bad := make(partition.Assignment, h.NumVertices()) // all in part 0

@@ -31,6 +31,13 @@ type Config struct {
 	// MinBlockCells stops recursion when a region holds at most this many
 	// cells (default 8).
 	MinBlockCells int
+	// Quadrisection, when set, splits squarish regions with enough cells
+	// into their four quadrants with one direct 4-way partition instead of
+	// two successive bisections, so the partitioner sees the full 2x2
+	// decision at once. Terminal propagation then votes per axis; a net
+	// whose external pins tie on an axis gets an OR-region mask spanning
+	// both quadrants on that axis. Elongated or small regions still bisect.
+	Quadrisection bool
 	// FixedX/FixedY pin vertices (typically pads) to chip coordinates; use
 	// NaN entries (or nil slices) for movable vertices.
 	FixedX, FixedY []float64
@@ -137,12 +144,20 @@ func Place(h *hypergraph.Hypergraph, cfg Config, rng *rand.Rand) (*Placement, er
 			seeds[i] = rng.Uint64()
 		}
 		type split struct {
-			left, right region
-			ok          bool
+			children []region
+			ok       bool
 		}
 		splits := make([]split, len(work))
 		par.ForEach(len(work), cfg.Workers, func(i int) {
 			rrng := rand.New(rand.NewPCG(seeds[i], 0))
+			if cfg.Quadrisection && quadWorthy(work[i], cfg) {
+				if children, err := quadrisectRegion(pl, work[i], cfg, rrng); err == nil {
+					splits[i] = split{children, true}
+					return
+				}
+				// An infeasible quadrisection (macro-dominated quadrant,
+				// overconstrained terminals) falls back to bisection below.
+			}
 			left, right, err := bisectRegion(pl, work[i], cfg, rrng)
 			if err != nil {
 				// A macro-dominated region can make the bisection infeasible
@@ -155,7 +170,7 @@ func Place(h *hypergraph.Hypergraph, cfg Config, rng *rand.Rand) (*Placement, er
 				}
 			}
 			if err == nil {
-				splits[i] = split{left, right, true}
+				splits[i] = split{[]region{left, right}, true}
 			}
 		})
 		var next []region
@@ -164,7 +179,7 @@ func Place(h *hypergraph.Hypergraph, cfg Config, rng *rand.Rand) (*Placement, er
 				spreadCells(pl, r)
 				continue
 			}
-			for _, child := range []region{splits[i].left, splits[i].right} {
+			for _, child := range splits[i].children {
 				for _, v := range child.cells {
 					pl.X[v], pl.Y[v] = child.cx(), child.cy()
 				}
@@ -174,6 +189,119 @@ func Place(h *hypergraph.Hypergraph, cfg Config, rng *rand.Rand) (*Placement, er
 		level = next
 	}
 	return pl, nil
+}
+
+// quadWorthy reports whether a region should be quadrisected: enough cells
+// that every quadrant stays above the recursion floor, and squarish enough
+// that a 2x2 grid of children makes geometric sense.
+func quadWorthy(r region, cfg Config) bool {
+	if len(r.cells) <= 4*cfg.MinBlockCells {
+		return false
+	}
+	ar := r.width() / r.height()
+	return ar >= 0.5 && ar <= 2
+}
+
+// quadrisectRegion splits r into its four quadrants with one direct 4-way
+// min-cut partition. Quadrant q covers the (xbit, ybit) = (q&1, q>>1) corner
+// — bottom-left, bottom-right, top-left, top-right — matching
+// geometry.Quadrisection order. External nets are propagated as zero-area
+// terminals with per-axis votes: a decisive axis fixes that coordinate bit,
+// a tied axis leaves it free, so the terminal's allowed mask is the
+// OR-region of the consistent quadrants (a net tied on both axes floats
+// freely among all four).
+func quadrisectRegion(pl *Placement, r region, cfg Config, rng *rand.Rand) ([]region, error) {
+	cx, cy := r.cx(), r.cy()
+	children := []region{
+		{r.x0, r.y0, cx, cy, nil},
+		{cx, r.y0, r.x1, cy, nil},
+		{r.x0, cy, cx, r.y1, nil},
+		{cx, cy, r.x1, r.y1, nil},
+	}
+
+	h := pl.H
+	inRegion := make(map[int32]int32, len(r.cells))
+	b := hypergraph.NewBuilder(1)
+	b.DropSingletons = true
+	b.DedupPins = true
+	for i, v := range r.cells {
+		b.AddVertex(h.Weight(int(v)))
+		inRegion[v] = int32(i)
+	}
+	masks := make([]partition.Mask, len(r.cells))
+	free := partition.AllParts(4)
+	for i := range masks {
+		masks[i] = free
+	}
+
+	seen := make(map[int32]bool)
+	var pins []int
+	for _, v := range r.cells {
+		for _, en := range h.NetsOf(int(v)) {
+			if seen[en] {
+				continue
+			}
+			seen[en] = true
+			pins = pins[:0]
+			votesX, votesY := 0, 0 // >0 favour right / top
+			external := 0
+			for _, u := range h.Pins(int(en)) {
+				if su, ok := inRegion[u]; ok {
+					pins = append(pins, int(su))
+					continue
+				}
+				external++
+				if clamp(pl.X[u], r.x0, r.x1) >= cx {
+					votesX++
+				} else {
+					votesX--
+				}
+				if clamp(pl.Y[u], r.y0, r.y1) >= cy {
+					votesY++
+				} else {
+					votesY--
+				}
+			}
+			if external > 0 {
+				var m partition.Mask
+				for q := 0; q < 4; q++ {
+					xbit, ybit := q&1, q>>1
+					if (votesX > 0 && xbit == 0) || (votesX < 0 && xbit == 1) {
+						continue
+					}
+					if (votesY > 0 && ybit == 0) || (votesY < 0 && ybit == 1) {
+						continue
+					}
+					m = m.With(q)
+				}
+				t := b.AddVertex(0)
+				masks = append(masks, m)
+				pins = append(pins, t)
+			}
+			if len(pins) >= 2 {
+				b.AddNet(pins...)
+			}
+		}
+	}
+	sub, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("place: building quadrant subproblem: %w", err)
+	}
+	prob := &partition.Problem{
+		H:       sub,
+		K:       4,
+		Balance: partition.NewUniform(sub, 4, cfg.Tolerance),
+		Allowed: masks,
+	}
+	res, err := multilevel.PartitionKWay(prob, cfg.ML, rng)
+	if err != nil {
+		return nil, fmt.Errorf("place: quadrisecting region: %w", err)
+	}
+	for i, v := range r.cells {
+		q := res.Assignment[i]
+		children[q].cells = append(children[q].cells, v)
+	}
+	return children, nil
 }
 
 // bisectRegion splits r perpendicular to its longer side using min-cut

@@ -203,3 +203,61 @@ func TestPlaceWorkersDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestPlaceQuadrisection runs the placer in quadrisection mode and checks the
+// result is in-bounds, keeps pads pinned, and is competitive with bisection
+// on wirelength.
+func TestPlaceQuadrisection(t *testing.T) {
+	nl := testNetlist(t, 400, 7)
+	fx, fy := padCoords(nl, 100, 100)
+	base := place.Config{Width: 100, Height: 100, FixedX: fx, FixedY: fy}
+	quadCfg := base
+	quadCfg.Quadrisection = true
+	quad, err := place.Place(nl.H, quadCfg, rand.New(rand.NewPCG(7, 7)))
+	if err != nil {
+		t.Fatalf("Place quadrisection: %v", err)
+	}
+	for v := 0; v < nl.H.NumVertices(); v++ {
+		if quad.X[v] < 0 || quad.X[v] > 100 || quad.Y[v] < 0 || quad.Y[v] > 100 {
+			t.Fatalf("vertex %d at (%.1f,%.1f) outside chip", v, quad.X[v], quad.Y[v])
+		}
+		if nl.H.IsPad(v) && (quad.X[v] != fx[v] || quad.Y[v] != fy[v]) {
+			t.Errorf("pad %d moved", v)
+		}
+	}
+	bis, err := place.Place(nl.H, base, rand.New(rand.NewPCG(7, 7)))
+	if err != nil {
+		t.Fatalf("Place bisection: %v", err)
+	}
+	qh, bh := quad.HPWL(), bis.HPWL()
+	t.Logf("HPWL: quadrisection %.0f, bisection %.0f", qh, bh)
+	if qh > 1.5*bh {
+		t.Errorf("quadrisection HPWL %.0f more than 1.5x bisection's %.0f", qh, bh)
+	}
+}
+
+// TestPlaceQuadrisectionDeterministic verifies quadrisection mode keeps the
+// worker-count determinism contract.
+func TestPlaceQuadrisectionDeterministic(t *testing.T) {
+	nl := testNetlist(t, 250, 8)
+	fx, fy := padCoords(nl, 64, 64)
+	var ref *place.Placement
+	for _, workers := range []int{1, 4} {
+		pl, err := place.Place(nl.H, place.Config{
+			Width: 64, Height: 64, FixedX: fx, FixedY: fy,
+			Workers: workers, Quadrisection: true,
+		}, rand.New(rand.NewPCG(10, 10)))
+		if err != nil {
+			t.Fatalf("Place workers=%d: %v", workers, err)
+		}
+		if ref == nil {
+			ref = pl
+			continue
+		}
+		for v := 0; v < nl.H.NumVertices(); v++ {
+			if pl.X[v] != ref.X[v] || pl.Y[v] != ref.Y[v] {
+				t.Fatalf("workers=4: vertex %d diverges from workers=1", v)
+			}
+		}
+	}
+}
