@@ -5,9 +5,13 @@
 //
 //	experiments -exp table1|fig1|fig2|table2|table3|table4|multiway|all
 //	            [-scale 0.25] [-trials 10] [-seed 1] [-workers 0]
+//	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Independent experiment cells run on -workers goroutines (0 = GOMAXPROCS);
 // results are identical for every worker count.
+//
+// -cpuprofile/-memprofile write pprof profiles of the whole run; multilevel
+// phases carry pprof labels (phase=coarsen|init|refine) for -tagfocus.
 //
 // CPU numbers are host wall-clock; the paper's were measured on 1990s Sun
 // hardware, so only relative comparisons are meaningful.
@@ -24,22 +28,32 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/gen"
 	"repro/internal/place"
+	"repro/internal/profiling"
 	"repro/internal/rent"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id: table1, fig1, fig2, table2, table3, table4, multiway, constraint, profile, starts or all")
-		scale   = flag.Float64("scale", 0.25, "scale factor for circuit sizes")
-		trials  = flag.Int("trials", 10, "trials per data point (paper: 50)")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		workers = flag.Int("workers", 0, "goroutines for independent cells (0 = GOMAXPROCS)")
-		csvOut  = flag.String("csv", "", "also write fig1/fig2 sweep data as CSV to this file")
+		exp        = flag.String("exp", "all", "experiment id: table1, fig1, fig2, table2, table3, table4, multiway, constraint, profile, starts or all")
+		scale      = flag.Float64("scale", 0.25, "scale factor for circuit sizes")
+		trials     = flag.Int("trials", 10, "trials per data point (paper: 50)")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		workers    = flag.Int("workers", 0, "goroutines for independent cells (0 = GOMAXPROCS)")
+		csvOut     = flag.String("csv", "", "also write fig1/fig2 sweep data as CSV to this file")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	csvPath = *csvOut
 	cellWorkers = *workers
-	if err := run(*exp, *scale, *trials, *seed); err != nil {
+	stop, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	err = run(*exp, *scale, *trials, *seed)
+	stop()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}

@@ -6,15 +6,24 @@
 //
 //	hpart -dir bench -base IBM01SA_L0_V [-engine ml|lifo|clip] [-starts 4]
 //	      [-kway direct|rb] [-cutoff 0.25] [-seed 1] [-workers 0]
+//	      [-shared-coarsen] [-hierarchies 2]
+//	      [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	      [-out solution.sol]
 //
 // With the ml engine, independent starts run on -workers goroutines
-// (0 = GOMAXPROCS); the result is identical for every worker count. For
-// k > 2 bundles, -kway selects how the ml engine reaches k parts: "direct"
-// (default) coarsens the full k-way problem once and refines with direct
-// k-way FM at every level, "rb" decomposes into recursive multilevel
-// bisections (any k >= 2, not just powers of two) with a final k-way FM
-// polish.
+// (0 = GOMAXPROCS); the result is identical for every worker count.
+// -shared-coarsen (2-way bundles only) amortises coarsening across starts:
+// -hierarchies owner starts build and fully refine private hierarchies, the
+// remaining starts resample those hierarchies as cheap pass-cutoff follower
+// descents. For k > 2 bundles, -kway selects how the ml engine reaches k
+// parts: "direct" (default) coarsens the full k-way problem once and refines
+// with direct k-way FM at every level, "rb" decomposes into recursive
+// multilevel bisections (any k >= 2, not just powers of two) with a final
+// k-way FM polish.
+//
+// -cpuprofile/-memprofile write pprof profiles of the whole run; multilevel
+// phases carry pprof labels (phase=coarsen|init|refine), so
+// `go tool pprof -tagfocus phase=refine cpu.pprof` isolates one phase.
 package main
 
 import (
@@ -28,19 +37,24 @@ import (
 	"repro/internal/fm"
 	"repro/internal/multilevel"
 	"repro/internal/partition"
+	"repro/internal/profiling"
 )
 
 func main() {
 	var (
-		dir     = flag.String("dir", ".", "directory holding the benchmark bundle")
-		base    = flag.String("base", "", "bundle base name (required)")
-		engine  = flag.String("engine", "ml", "partitioning engine: ml (multilevel CLIP), lifo or clip (flat FM)")
-		kway    = flag.String("kway", "direct", "k>2 strategy for the ml engine: direct (k-way V-cycle) or rb (recursive bisection)")
-		starts  = flag.Int("starts", 1, "independent starts; the best result is kept")
-		cutoff  = flag.Float64("cutoff", 1, "pass cutoff fraction after the first pass (1 = none)")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		workers = flag.Int("workers", 0, "goroutines for parallel multistart (0 = GOMAXPROCS)")
-		out     = flag.String("out", "", "write the best assignment to this file")
+		dir         = flag.String("dir", ".", "directory holding the benchmark bundle")
+		base        = flag.String("base", "", "bundle base name (required)")
+		engine      = flag.String("engine", "ml", "partitioning engine: ml (multilevel CLIP), lifo or clip (flat FM)")
+		kway        = flag.String("kway", "direct", "k>2 strategy for the ml engine: direct (k-way V-cycle) or rb (recursive bisection)")
+		starts      = flag.Int("starts", 1, "independent starts; the best result is kept")
+		cutoff      = flag.Float64("cutoff", 1, "pass cutoff fraction after the first pass (1 = none)")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		workers     = flag.Int("workers", 0, "goroutines for parallel multistart (0 = GOMAXPROCS)")
+		shared      = flag.Bool("shared-coarsen", false, "share coarsening hierarchies across ml starts (2-way only)")
+		hierarchies = flag.Int("hierarchies", 2, "shared hierarchies to build with -shared-coarsen")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		out         = flag.String("out", "", "write the best assignment to this file")
 	)
 	flag.Parse()
 	if *base == "" {
@@ -48,19 +62,29 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*dir, *base, *engine, *kway, *starts, *cutoff, *seed, *workers, *out); err != nil {
+	stop, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hpart:", err)
+		os.Exit(1)
+	}
+	err = run(*dir, *base, *engine, *kway, *starts, *cutoff, *seed, *workers, *shared, *hierarchies, *out)
+	stop()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "hpart:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dir, base, engine, kway string, starts int, cutoff float64, seed uint64, workers int, out string) error {
+func run(dir, base, engine, kway string, starts int, cutoff float64, seed uint64, workers int, shared bool, hierarchies int, out string) error {
 	p, err := bookshelf.ReadProblem(dir, base)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("instance %s: %v, k=%d, fixed=%d (%.1f%%)\n",
 		base, p.H, p.K, p.NumFixed(), 100*p.FixedFraction())
+	if shared && (engine != "ml" || p.K != 2) {
+		return fmt.Errorf("-shared-coarsen requires the ml engine on a 2-way bundle (engine=%s, k=%d)", engine, p.K)
+	}
 	rng := rand.New(rand.NewPCG(seed, 0x42))
 	t0 := time.Now()
 	var best partition.Assignment
@@ -69,6 +93,12 @@ func run(dir, base, engine, kway string, starts int, cutoff float64, seed uint64
 	case "ml":
 		cfg := multilevel.Config{MaxPassFraction: passFraction(cutoff), Workers: workers}
 		switch {
+		case p.K == 2 && shared:
+			res, err := multilevel.ParallelSharedMultistart(p, cfg, starts, hierarchies, rng)
+			if err != nil {
+				return err
+			}
+			best, cut = res.Assignment, res.Cut
 		case p.K == 2:
 			res, err := multilevel.ParallelMultistart(p, cfg, starts, rng)
 			if err != nil {

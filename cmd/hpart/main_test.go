@@ -36,7 +36,7 @@ func TestRunMultilevel(t *testing.T) {
 	dir := t.TempDir()
 	p := writeBundle(t, dir, "tiny")
 	out := filepath.Join(dir, "tiny.sol")
-	if err := run(dir, "tiny", "ml", "direct", 2, 1, 1, 2, out); err != nil {
+	if err := run(dir, "tiny", "ml", "direct", 2, 1, 1, 2, false, 2, out); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	f, err := os.Open(out)
@@ -53,11 +53,38 @@ func TestRunMultilevel(t *testing.T) {
 	}
 }
 
+// TestRunSharedCoarsen exercises -shared-coarsen end to end: a 2-way ml run
+// with fewer hierarchies than starts must write a feasible solution, and the
+// flag must be rejected for flat engines and k>2 bundles.
+func TestRunSharedCoarsen(t *testing.T) {
+	dir := t.TempDir()
+	p := writeBundle(t, dir, "tiny")
+	out := filepath.Join(dir, "tiny_shared.sol")
+	if err := run(dir, "tiny", "ml", "direct", 4, 1, 1, 2, true, 2, out); err != nil {
+		t.Fatalf("run -shared-coarsen: %v", err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatalf("solution not written: %v", err)
+	}
+	defer f.Close()
+	a, err := bookshelf.ReadSolution(f, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Feasible(a); err != nil {
+		t.Errorf("shared solution infeasible: %v", err)
+	}
+	if err := run(dir, "tiny", "clip", "direct", 1, 1, 1, 1, true, 2, ""); err == nil {
+		t.Error("want error for -shared-coarsen with a flat engine")
+	}
+}
+
 func TestRunFlatEngines(t *testing.T) {
 	dir := t.TempDir()
 	writeBundle(t, dir, "tiny")
 	for _, engine := range []string{"lifo", "clip"} {
-		if err := run(dir, "tiny", engine, "direct", 1, 0.25, 2, 1, ""); err != nil {
+		if err := run(dir, "tiny", engine, "direct", 1, 0.25, 2, 1, false, 2, ""); err != nil {
 			t.Errorf("engine %s: %v", engine, err)
 		}
 	}
@@ -66,10 +93,10 @@ func TestRunFlatEngines(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
 	writeBundle(t, dir, "tiny")
-	if err := run(dir, "tiny", "bogus", "direct", 1, 1, 1, 1, ""); err == nil {
+	if err := run(dir, "tiny", "bogus", "direct", 1, 1, 1, 1, false, 2, ""); err == nil {
 		t.Error("want error for unknown engine")
 	}
-	if err := run(dir, "missing", "ml", "direct", 1, 1, 1, 1, ""); err == nil {
+	if err := run(dir, "missing", "ml", "direct", 1, 1, 1, 1, false, 2, ""); err == nil {
 		t.Error("want error for missing bundle")
 	}
 }
@@ -100,7 +127,7 @@ func TestRunKWayBundle(t *testing.T) {
 	}
 	for _, mode := range []string{"direct", "rb"} {
 		out := filepath.Join(dir, "quad_"+mode+".sol")
-		if err := run(dir, "quad", "ml", mode, 2, 1, 1, 2, out); err != nil {
+		if err := run(dir, "quad", "ml", mode, 2, 1, 1, 2, false, 2, out); err != nil {
 			t.Fatalf("run ml k=4 -kway=%s: %v", mode, err)
 		}
 		got, err := bookshelf.ReadProblem(dir, "quad")
@@ -120,10 +147,10 @@ func TestRunKWayBundle(t *testing.T) {
 			t.Fatalf("-kway=%s solution infeasible: %v", mode, err)
 		}
 	}
-	if err := run(dir, "quad", "ml", "bogus", 1, 1, 1, 1, ""); err == nil {
+	if err := run(dir, "quad", "ml", "bogus", 1, 1, 1, 1, false, 2, ""); err == nil {
 		t.Error("want error for unknown -kway mode")
 	}
-	if err := run(dir, "quad", "lifo", "direct", 1, 1, 2, 1, ""); err != nil {
+	if err := run(dir, "quad", "lifo", "direct", 1, 1, 2, 1, false, 2, ""); err != nil {
 		t.Fatalf("run flat k=4: %v", err)
 	}
 }
@@ -149,7 +176,7 @@ func TestRunNonPowerOfTwoK(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, mode := range []string{"direct", "rb"} {
-		if err := run(dir, "tri", "ml", mode, 1, 1, 1, 1, ""); err != nil {
+		if err := run(dir, "tri", "ml", mode, 1, 1, 1, 1, false, 2, ""); err != nil {
 			t.Errorf("run ml k=3 -kway=%s: %v", mode, err)
 		}
 	}

@@ -18,6 +18,16 @@ func RunFromRandom(p *partition.Problem, cfg Config, rng *rand.Rand) (*Result, e
 	return Bipartition(p, initial, cfg)
 }
 
+// RunFromRandomWith is RunFromRandom using the caller's scratch, for drivers
+// that hold one Scratch across many runs.
+func RunFromRandomWith(p *partition.Problem, cfg Config, rng *rand.Rand, sc *Scratch) (*Result, error) {
+	initial, err := partition.RandomFeasible(p, rng)
+	if err != nil {
+		return nil, err
+	}
+	return BipartitionWith(p, initial, cfg, sc)
+}
+
 // KWayRefine improves a feasible k-way assignment by greedy vertex moves: it
 // repeatedly sweeps all vertices in random order, moving each to its best
 // allowed, feasible part when that strictly reduces the (lambda-1) connectivity

@@ -45,6 +45,16 @@ func NewScratch() *Scratch { return &Scratch{} }
 // starts on the same problem allocate almost nothing.
 var scratchPool = sync.Pool{New: func() any { return NewScratch() }}
 
+// GetScratch leases a Scratch from the shared pool. Callers running many FM
+// runs back to back (e.g. one multilevel descent: coarsest-level tries plus a
+// refinement per level) hold one scratch across all of them via the *With
+// entry points, then return it with PutScratch.
+func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// PutScratch returns a leased Scratch to the shared pool. The scratch must
+// not be used after the call.
+func PutScratch(s *Scratch) { scratchPool.Put(s) }
+
 // prepare sizes the vertex/net/resource/part arrays for a run and clears the
 // state the kernel accumulates into. The gain buckets are sized separately
 // (by sizeBuckets) once the kernel knows the key span.

@@ -56,8 +56,8 @@ func BenchmarkBuild(b *testing.B) {
 	}
 }
 
-func BenchmarkContract(b *testing.B) {
-	h := benchInput(b, 10000, 12000)
+// benchClustering pairs vertices into a half-size clustering of h.
+func benchClustering(h *hypergraph.Hypergraph) ([]int32, int) {
 	rng := rand.New(rand.NewPCG(8, 8))
 	nc := h.NumVertices() / 2
 	clusterOf := make([]int32, h.NumVertices())
@@ -67,12 +67,49 @@ func BenchmarkContract(b *testing.B) {
 	for i := nc; i < h.NumVertices(); i++ {
 		clusterOf[i] = int32(rng.IntN(nc))
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, _, err := hypergraph.Contract(h, clusterOf, nc, hypergraph.ContractOptions{MergeParallelNets: true}); err != nil {
-			b.Fatal(err)
+	return clusterOf, nc
+}
+
+// BenchmarkContract compares the allocation-free scratch path against the
+// frozen map-based reference; run with -benchmem to see the allocation gap.
+// The scratch sub-benchmark also enforces the headline acceptance: allocs/op
+// must be at least 5x lower than the reference.
+func BenchmarkContract(b *testing.B) {
+	h := benchInput(b, 10000, 12000)
+	clusterOf, nc := benchClustering(h)
+	opts := hypergraph.ContractOptions{MergeParallelNets: true}
+	b.Run("scratch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := hypergraph.Contract(h, clusterOf, nc, opts); err != nil {
+				b.Fatal(err)
+			}
 		}
-	}
+		b.StopTimer()
+		newAllocs := testing.AllocsPerRun(20, func() {
+			if _, _, err := hypergraph.Contract(h, clusterOf, nc, opts); err != nil {
+				b.Fatal(err)
+			}
+		})
+		refAllocs := testing.AllocsPerRun(20, func() {
+			if _, _, err := hypergraph.ContractReference(h, clusterOf, nc, opts); err != nil {
+				b.Fatal(err)
+			}
+		})
+		b.ReportMetric(newAllocs, "allocs/op-measured")
+		b.ReportMetric(refAllocs/newAllocs, "alloc-reduction-x")
+		if refAllocs < 5*newAllocs {
+			b.Errorf("Contract allocs/op %.0f not reduced >= 5x vs reference %.0f", newAllocs, refAllocs)
+		}
+	})
+	b.Run("reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := hypergraph.ContractReference(h, clusterOf, nc, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func BenchmarkValidate(b *testing.B) {

@@ -20,10 +20,6 @@ type level struct {
 	clusterOf []int32 // maps this level's vertices to the next-coarser level
 }
 
-// hugeNetThreshold: nets with more pins than this are ignored while scoring
-// matches (they carry almost no clustering signal and cost quadratic time).
-const hugeNetThreshold = 50
-
 // Scheme selects the coarsening algorithm.
 type Scheme int
 
@@ -66,7 +62,11 @@ func (s Scheme) String() string {
 // When part is non-nil (V-cycling's restricted coarsening), vertices only
 // match within the same part of the current solution, so the solution
 // projects exactly onto every coarse level.
-func matchLevel(p *partition.Problem, part partition.Assignment, maxClusterWeight int64, minShrink float64, rng *rand.Rand) (*partition.Problem, []int32, bool) {
+//
+// Nets with more than hugeNet pins are ignored while scoring matches (they
+// carry almost no clustering signal and cost quadratic time); the threshold
+// comes from Config.HugeNetThreshold.
+func matchLevel(p *partition.Problem, part partition.Assignment, maxClusterWeight int64, minShrink float64, hugeNet int, rng *rand.Rand) (*partition.Problem, []int32, bool) {
 	h := p.H
 	nv := h.NumVertices()
 	matchOf := make([]int32, nv)
@@ -88,7 +88,7 @@ func matchLevel(p *partition.Problem, part partition.Assignment, maxClusterWeigh
 		var cand []int32
 		for _, en := range h.NetsOf(v) {
 			pins := h.Pins(int(en))
-			if len(pins) > hugeNetThreshold {
+			if len(pins) > hugeNet {
 				continue
 			}
 			// Score scaled by 1e6 to keep integer arithmetic.
@@ -183,7 +183,7 @@ func contractProblem(p *partition.Problem, clusterOf []int32, numClusters int) (
 // and contracted whole when all pins are unmatched, mask-compatible,
 // same-part (when part is non-nil) and within the weight cap. The modified
 // variant then contracts the unmatched-pin subsets of remaining nets.
-func hyperedgeLevel(p *partition.Problem, part partition.Assignment, maxClusterWeight int64, minShrink float64, modified bool, rng *rand.Rand) (*partition.Problem, []int32, bool) {
+func hyperedgeLevel(p *partition.Problem, part partition.Assignment, maxClusterWeight int64, minShrink float64, hugeNet int, modified bool, rng *rand.Rand) (*partition.Problem, []int32, bool) {
 	h := p.H
 	nv := h.NumVertices()
 	clusterOf := make([]int32, nv)
@@ -237,14 +237,14 @@ func hyperedgeLevel(p *partition.Problem, part partition.Assignment, maxClusterW
 		return h.NetSize(ei) < h.NetSize(ej)
 	})
 	for _, e := range order {
-		if h.NetSize(e) > hugeNetThreshold {
+		if h.NetSize(e) > hugeNet {
 			continue
 		}
 		tryContract(h.Pins(e), true)
 	}
 	if modified {
 		for _, e := range order {
-			if h.NetSize(e) > hugeNetThreshold {
+			if h.NetSize(e) > hugeNet {
 				continue
 			}
 			tryContract(h.Pins(e), false)

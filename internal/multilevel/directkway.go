@@ -106,6 +106,9 @@ func PartitionKWay(p *partition.Problem, cfg Config, rng *rand.Rand) (*Result, e
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.effective()
 	maxCluster := kwayMaxCluster(p)
 	levels := []level{{problem: p}}
@@ -114,7 +117,7 @@ func PartitionKWay(p *partition.Problem, cfg Config, rng *rand.Rand) (*Result, e
 		if curr.MovableCount() <= cfg.CoarsestSize {
 			break
 		}
-		coarse, clusterOf, ok := coarsenLevel(cfg.Scheme, curr, nil, maxCluster, cfg.ClusteringRatio, rng)
+		coarse, clusterOf, ok := coarsenLevel(cfg.Scheme, curr, nil, maxCluster, cfg.ClusteringRatio, cfg.HugeNetThreshold, rng)
 		if !ok {
 			break
 		}

@@ -1,0 +1,237 @@
+package multilevel
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"runtime/metrics"
+	"runtime/pprof"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fm"
+	"repro/internal/partition"
+)
+
+// Hierarchy is the product of one coarsening descent: the stack of
+// progressively coarser problems plus the cluster maps between them. It is
+// immutable once built, so many refinement-only descents — serial or
+// concurrent — can share it; that is what SharedMultistart exploits to
+// amortise coarsening (and its contraction cost) over many starts.
+//
+// A Hierarchy is only sound to share between *starts of the same problem and
+// config*. It must not be reused for V-cycling: V-cycles re-coarsen
+// restricted to the current solution, so their stack depends on the very
+// assignment being refined.
+type Hierarchy struct {
+	levels []level
+	cfg    Config // effective config the hierarchy was built with
+}
+
+// Root returns the original (finest) problem.
+func (h *Hierarchy) Root() *partition.Problem { return h.levels[0].problem }
+
+// Levels returns the number of coarsening levels (0 = the hierarchy is flat).
+func (h *Hierarchy) Levels() int { return len(h.levels) - 1 }
+
+// Coarsest returns the coarsest problem of the stack.
+func (h *Hierarchy) Coarsest() *partition.Problem { return h.levels[len(h.levels)-1].problem }
+
+// BuildHierarchy runs the coarsening phase of Partition once and returns the
+// resulting hierarchy. Partition(p, cfg, rng) is exactly
+// BuildHierarchy(p, cfg, rng) followed by Descend(rng) on the same rng.
+func BuildHierarchy(p *partition.Problem, cfg Config, rng *rand.Rand) (*Hierarchy, error) {
+	if p.K != 2 {
+		return nil, fmt.Errorf("multilevel: BuildHierarchy requires k=2, got k=%d", p.K)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return buildLevels(p, cfg.effective(), bipartitionMaxCluster(p), rng), nil
+}
+
+// Descend runs one full-refinement start over the hierarchy: initial
+// partitioning at the coarsest feasible level, then FM refinement at every
+// level on the way up. Each call consumes rng exactly as the corresponding
+// phase of Partition does.
+func (h *Hierarchy) Descend(rng *rand.Rand) (*Result, error) { return h.descend(rng, false) }
+
+// bipartitionMaxCluster caps cluster growth well below the part capacity so
+// the coarsest level retains enough granularity near the balance boundary.
+func bipartitionMaxCluster(p *partition.Problem) int64 {
+	maxCluster := p.Balance.Max[0][0] / 20
+	if maxCluster < 1 {
+		maxCluster = 1
+	}
+	return maxCluster
+}
+
+// buildLevels runs the coarsening loop on an already-validated problem and
+// effective config.
+func buildLevels(p *partition.Problem, cfg Config, maxCluster int64, rng *rand.Rand) *Hierarchy {
+	h := &Hierarchy{cfg: cfg}
+	cfg.Stats.track(phaseCoarsen, func() {
+		levels := []level{{problem: p}}
+		curr := p
+		for len(levels) < cfg.MaxLevels {
+			if curr.MovableCount() <= cfg.CoarsestSize {
+				break
+			}
+			coarse, clusterOf, ok := coarsenLevel(cfg.Scheme, curr, nil, maxCluster, cfg.ClusteringRatio, cfg.HugeNetThreshold, rng)
+			if !ok {
+				break
+			}
+			levels[len(levels)-1].clusterOf = clusterOf
+			levels = append(levels, level{problem: coarse})
+			curr = coarse
+		}
+		h.levels = levels
+	})
+	return h
+}
+
+// descend runs one refinement start. Owner descents (follower=false) refine
+// with the full configured FM discipline and replay Partition's phases
+// bit-identically; follower descents — extra SharedMultistart starts
+// resampling a hierarchy another start owns — apply cfg.FollowerPassFraction
+// as a pass cutoff during uncoarsening refinement, trading a sliver of
+// per-start quality for a large reduction in per-start cost (the coarsest
+// initial partitioning, where start diversity comes from, stays at full
+// strength). One FM scratch is leased for the whole descent, so neither the
+// initial tries nor the per-level refinements pay the kernel's allocation
+// cost.
+func (h *Hierarchy) descend(rng *rand.Rand, follower bool) (*Result, error) {
+	cfg := h.cfg
+	fmCfg := fm.Config{Policy: cfg.Policy, MaxPassFraction: cfg.MaxPassFraction, MaxPasses: cfg.RefineMaxPasses}
+	if follower {
+		fmCfg.MaxPassFraction = followerPassFraction(cfg)
+	}
+	initCfg := fm.Config{Policy: cfg.Policy, MaxPassFraction: cfg.MaxPassFraction}
+	sc := fm.GetScratch()
+	defer fm.PutScratch(sc)
+
+	// Initial partitioning at the deepest level that admits a feasible
+	// start; heavy clusters can make the very coarsest level infeasible, in
+	// which case we back off toward finer levels.
+	start := len(h.levels) - 1
+	var a partition.Assignment
+	cfg.Stats.track(phaseInit, func() {
+		for ; start >= 0; start-- {
+			lp := h.levels[start].problem
+			var best *fm.Result
+			for try := 0; try < cfg.InitialTries; try++ {
+				res, err := fm.RunFromRandomWith(lp, initCfg, rng, sc)
+				if err != nil {
+					break
+				}
+				if best == nil || res.Cut < best.Cut {
+					best = res
+				}
+			}
+			if best != nil {
+				a = best.Assignment
+				break
+			}
+		}
+	})
+	if a == nil {
+		return nil, fmt.Errorf("multilevel: no feasible initial solution at any level (instance overconstrained)")
+	}
+
+	// Uncoarsen with FM refinement.
+	var refineErr error
+	cfg.Stats.track(phaseRefine, func() {
+		for lvl := start - 1; lvl >= 0; lvl-- {
+			a = project(a, h.levels[lvl].clusterOf)
+			res, err := fm.BipartitionWith(h.levels[lvl].problem, a, fmCfg, sc)
+			if err != nil {
+				refineErr = fmt.Errorf("multilevel: refining level %d: %w", lvl, err)
+				return
+			}
+			a = res.Assignment
+		}
+	})
+	if refineErr != nil {
+		return nil, refineErr
+	}
+	return &Result{
+		Assignment: a,
+		Cut:        partition.Cut(h.Root().H, a),
+		Levels:     len(h.levels) - 1,
+		Starts:     1,
+	}, nil
+}
+
+// followerPassFraction resolves the pass cutoff for follower descents: the
+// configured FollowerPassFraction, unless the run-wide MaxPassFraction is
+// already an even stricter cutoff.
+func followerPassFraction(cfg Config) float64 {
+	f := cfg.FollowerPassFraction
+	if cfg.MaxPassFraction > 0 && cfg.MaxPassFraction < 1 && cfg.MaxPassFraction < f {
+		f = cfg.MaxPassFraction
+	}
+	return f
+}
+
+// PhaseStats accumulates wall time and heap allocation counts per engine
+// phase. Attach one to Config.Stats to profile a run; the bench harness
+// threads these into BENCH_shared.json. Counters are added to atomically, so
+// one PhaseStats may be shared by concurrent descents; the allocation
+// numbers read the process-wide heap counter and are only attributable to a
+// phase in serial runs.
+type PhaseStats struct {
+	CoarsenNS     int64 `json:"coarsen_ns"`
+	InitNS        int64 `json:"init_ns"`
+	RefineNS      int64 `json:"refine_ns"`
+	CoarsenAllocs int64 `json:"coarsen_allocs"`
+	InitAllocs    int64 `json:"init_allocs"`
+	RefineAllocs  int64 `json:"refine_allocs"`
+}
+
+// TotalNS returns the summed wall time across phases.
+func (st *PhaseStats) TotalNS() int64 { return st.CoarsenNS + st.InitNS + st.RefineNS }
+
+const (
+	phaseCoarsen = iota
+	phaseInit
+	phaseRefine
+)
+
+var phaseLabels = [...]string{"coarsen", "init", "refine"}
+
+// track runs fn under a pprof goroutine label for the phase (so CPU/heap
+// profiles split by phase) and, when st is non-nil, accrues wall time and
+// heap object allocations into the phase counters. st may be nil.
+func (st *PhaseStats) track(phase int, fn func()) {
+	if st == nil {
+		pprof.Do(context.Background(), pprof.Labels("phase", phaseLabels[phase]), func(context.Context) { fn() })
+		return
+	}
+	a0 := heapAllocObjects()
+	t0 := time.Now()
+	pprof.Do(context.Background(), pprof.Labels("phase", phaseLabels[phase]), func(context.Context) { fn() })
+	dt := time.Since(t0).Nanoseconds()
+	da := int64(heapAllocObjects() - a0)
+	switch phase {
+	case phaseCoarsen:
+		atomic.AddInt64(&st.CoarsenNS, dt)
+		atomic.AddInt64(&st.CoarsenAllocs, da)
+	case phaseInit:
+		atomic.AddInt64(&st.InitNS, dt)
+		atomic.AddInt64(&st.InitAllocs, da)
+	case phaseRefine:
+		atomic.AddInt64(&st.RefineNS, dt)
+		atomic.AddInt64(&st.RefineAllocs, da)
+	}
+}
+
+// heapAllocObjects returns the cumulative count of heap objects allocated by
+// the process, via the cheap runtime/metrics read (no stop-the-world).
+func heapAllocObjects() uint64 {
+	sample := []metrics.Sample{{Name: "/gc/heap/allocs:objects"}}
+	metrics.Read(sample)
+	return sample[0].Value.Uint64()
+}

@@ -42,10 +42,28 @@ type Config struct {
 	// uncoarsening (0 = run to convergence, the default). The
 	// coarsest-level initial partitioning always runs to convergence.
 	RefineMaxPasses int
+	// HugeNetThreshold: nets with more pins than this are ignored while
+	// scoring coarsening matches — they carry almost no clustering signal
+	// and cost quadratic time (default 50). Negative values are rejected.
+	HugeNetThreshold int
+	// FollowerPassFraction is the pass cutoff (the paper's Table III
+	// mechanism) applied to the uncoarsening refinement of *follower* starts
+	// in SharedMultistart — starts that resample a hierarchy already built
+	// and fully refined by its owner start (default 0.10; set to 1 to give
+	// followers full refinement). It never affects Partition, Multistart or
+	// owner starts, so SharedMultistart with hierarchies == starts
+	// reproduces Multistart exactly.
+	FollowerPassFraction float64
 	// Workers bounds the worker pool of ParallelMultistart and
 	// ParallelAdaptiveMultistart (<= 0 means runtime.GOMAXPROCS). It never
 	// affects results: output is bit-identical for every worker count.
 	Workers int
+	// Stats, when non-nil, accumulates per-phase wall time and heap
+	// allocation counts (coarsen / initial partitioning / refinement) over
+	// every descent run with this config. Counters are updated atomically;
+	// allocation counts read the process-wide heap object counter, so they
+	// are only meaningful for serial runs.
+	Stats *PhaseStats
 }
 
 // SetPolicy selects the refinement policy explicitly.
@@ -70,7 +88,21 @@ func (c Config) effective() Config {
 	if c.MaxLevels <= 0 {
 		c.MaxLevels = 40
 	}
+	if c.HugeNetThreshold == 0 {
+		c.HugeNetThreshold = 50
+	}
+	if c.FollowerPassFraction <= 0 {
+		c.FollowerPassFraction = 0.10
+	}
 	return c
+}
+
+// validate rejects config values that effective() cannot default away.
+func (c Config) validate() error {
+	if c.HugeNetThreshold < 0 {
+		return fmt.Errorf("multilevel: HugeNetThreshold must be non-negative, got %d", c.HugeNetThreshold)
+	}
+	return nil
 }
 
 // Result is the outcome of a multilevel run.
@@ -85,7 +117,8 @@ type Result struct {
 }
 
 // Partition runs one start of the multilevel FM partitioner on the 2-way
-// problem p.
+// problem p: one coarsening descent (BuildHierarchy) followed by one
+// full-refinement descent over it.
 func Partition(p *partition.Problem, cfg Config, rng *rand.Rand) (*Result, error) {
 	if p.K != 2 {
 		return nil, fmt.Errorf("multilevel: Partition requires k=2, got k=%d (use RecursiveBisect)", p.K)
@@ -93,72 +126,12 @@ func Partition(p *partition.Problem, cfg Config, rng *rand.Rand) (*Result, error
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.effective()
-	// Cap cluster growth well below the part capacity so the coarsest level
-	// retains enough granularity near the balance boundary.
-	maxCluster := p.Balance.Max[0][0] / 20
-	if maxCluster < 1 {
-		maxCluster = 1
-	}
-	levels := []level{{problem: p}}
-	curr := p
-	for len(levels) < cfg.MaxLevels {
-		if curr.MovableCount() <= cfg.CoarsestSize {
-			break
-		}
-		coarse, clusterOf, ok := coarsenLevel(cfg.Scheme, curr, nil, maxCluster, cfg.ClusteringRatio, rng)
-		if !ok {
-			break
-		}
-		levels[len(levels)-1].clusterOf = clusterOf
-		levels = append(levels, level{problem: coarse})
-		curr = coarse
-	}
-
-	fmCfg := fm.Config{Policy: cfg.Policy, MaxPassFraction: cfg.MaxPassFraction, MaxPasses: cfg.RefineMaxPasses}
-	initCfg := fm.Config{Policy: cfg.Policy, MaxPassFraction: cfg.MaxPassFraction}
-
-	// Initial partitioning at the deepest level that admits a feasible
-	// start; heavy clusters can make the very coarsest level infeasible, in
-	// which case we back off toward finer levels.
-	start := len(levels) - 1
-	var a partition.Assignment
-	for ; start >= 0; start-- {
-		lp := levels[start].problem
-		var best *fm.Result
-		for try := 0; try < cfg.InitialTries; try++ {
-			res, err := fm.RunFromRandom(lp, initCfg, rng)
-			if err != nil {
-				break
-			}
-			if best == nil || res.Cut < best.Cut {
-				best = res
-			}
-		}
-		if best != nil {
-			a = best.Assignment
-			break
-		}
-	}
-	if a == nil {
-		return nil, fmt.Errorf("multilevel: no feasible initial solution at any level (instance overconstrained)")
-	}
-
-	// Uncoarsen with FM refinement.
-	for lvl := start - 1; lvl >= 0; lvl-- {
-		a = project(a, levels[lvl].clusterOf)
-		res, err := fm.Bipartition(levels[lvl].problem, a, fmCfg)
-		if err != nil {
-			return nil, fmt.Errorf("multilevel: refining level %d: %w", lvl, err)
-		}
-		a = res.Assignment
-	}
-	return &Result{
-		Assignment: a,
-		Cut:        partition.Cut(p.H, a),
-		Levels:     len(levels) - 1,
-		Starts:     1,
-	}, nil
+	h := buildLevels(p, cfg, bipartitionMaxCluster(p), rng)
+	return h.descend(rng, false)
 }
 
 // Multistart runs n independent starts and returns the best result, with
@@ -230,14 +203,14 @@ func AdaptiveMultistart(p *partition.Problem, cfg Config, maxStarts, patience in
 }
 
 // coarsenLevel dispatches one coarsening round to the configured scheme.
-func coarsenLevel(s Scheme, p *partition.Problem, part partition.Assignment, maxCluster int64, minShrink float64, rng *rand.Rand) (*partition.Problem, []int32, bool) {
+func coarsenLevel(s Scheme, p *partition.Problem, part partition.Assignment, maxCluster int64, minShrink float64, hugeNet int, rng *rand.Rand) (*partition.Problem, []int32, bool) {
 	switch s {
 	case Hyperedge:
-		return hyperedgeLevel(p, part, maxCluster, minShrink, false, rng)
+		return hyperedgeLevel(p, part, maxCluster, minShrink, hugeNet, false, rng)
 	case ModifiedHyperedge:
-		return hyperedgeLevel(p, part, maxCluster, minShrink, true, rng)
+		return hyperedgeLevel(p, part, maxCluster, minShrink, hugeNet, true, rng)
 	default:
-		return matchLevel(p, part, maxCluster, minShrink, rng)
+		return matchLevel(p, part, maxCluster, minShrink, hugeNet, rng)
 	}
 }
 

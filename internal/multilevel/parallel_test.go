@@ -26,7 +26,7 @@ func presetProblem(t *testing.T, name string, scale, fixedFrac float64) *partiti
 	if fixedFrac > 0 {
 		rng := rand.New(rand.NewPCG(99, 99))
 		nv := nl.H.NumVertices()
-		for _, v := range rng.Perm(nv)[:int(fixedFrac * float64(nv))] {
+		for _, v := range rng.Perm(nv)[:int(fixedFrac*float64(nv))] {
 			p.Fix(v, rng.IntN(2))
 		}
 	}

@@ -1,0 +1,103 @@
+package multilevel
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/par"
+	"repro/internal/partition"
+)
+
+// SharedMultistart runs `starts` multilevel starts over only `hierarchies`
+// coarsening descents (H <= starts; values < 1 pick ceil(starts/4)), so the
+// coarsening+contraction cost is amortised H/starts-fold.
+//
+// Start indices keep the determinism contract of Multistart: one base seed is
+// drawn from rng up front and start i runs on rand.NewPCG(baseSeed, i).
+//   - Starts 0..H-1 are *owners*: start j builds hierarchy j and then runs a
+//     full-refinement descent on the same RNG — exactly Partition's phases,
+//     bit for bit. With hierarchies == starts this makes SharedMultistart
+//     reproduce Multistart exactly.
+//   - Starts H..starts-1 are *followers*: start i resamples hierarchy i%H
+//     with a fresh coarsest-level initial partitioning and a pass-cutoff
+//     refinement descent (Config.FollowerPassFraction); cheap extra samples
+//     anchored by the owners' full-quality descents.
+//
+// Every start is a pure function of (problem, config, baseSeed, index,
+// hierarchies), so ParallelSharedMultistart reproduces this loop
+// bit-identically for any worker count. The best cut wins, ties toward the
+// lowest start index.
+func SharedMultistart(p *partition.Problem, cfg Config, starts, hierarchies int, rng *rand.Rand) (*Result, error) {
+	return sharedMultistart(p, cfg, starts, hierarchies, 1, rng)
+}
+
+// ParallelSharedMultistart is SharedMultistart on a bounded worker pool of
+// cfg.Workers goroutines (<= 0 meaning GOMAXPROCS). Owner starts (hierarchy
+// build + full descent) run concurrently first; a barrier then lets the
+// follower starts fan out over the completed hierarchies, which are immutable
+// and safe to share. The result is bit-identical to SharedMultistart for the
+// same incoming rng state, for any worker count.
+func ParallelSharedMultistart(p *partition.Problem, cfg Config, starts, hierarchies int, rng *rand.Rand) (*Result, error) {
+	return sharedMultistart(p, cfg, starts, hierarchies, cfg.Workers, rng)
+}
+
+func sharedMultistart(p *partition.Problem, cfg Config, starts, hierarchies, workers int, rng *rand.Rand) (*Result, error) {
+	if p.K != 2 {
+		return nil, fmt.Errorf("multilevel: SharedMultistart requires k=2, got k=%d", p.K)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if starts < 1 {
+		starts = 1
+	}
+	h := hierarchies
+	if h < 1 {
+		h = (starts + 3) / 4
+	}
+	if h > starts {
+		h = starts
+	}
+	eff := cfg.effective()
+	maxCluster := bipartitionMaxCluster(p)
+	baseSeed := rng.Uint64()
+
+	hiers := make([]*Hierarchy, h)
+	results := make([]*Result, starts)
+	errs := make([]error, starts)
+
+	// Phase 1: owner starts. Start j builds hierarchy j and descends on the
+	// same RNG — the exact Partition sequence.
+	par.ForEach(h, workers, func(j int) {
+		r := startRNG(baseSeed, j)
+		hiers[j] = buildLevels(p, eff, maxCluster, r)
+		results[j], errs[j] = hiers[j].descend(r, false)
+	})
+	// Phase 2: follower starts fan out over the built hierarchies.
+	par.ForEach(starts-h, workers, func(i int) {
+		idx := h + i
+		hier := hiers[idx%h]
+		if hier == nil {
+			errs[idx] = fmt.Errorf("multilevel: hierarchy %d unavailable", idx%h)
+			return
+		}
+		results[idx], errs[idx] = hier.descend(startRNG(baseSeed, idx), true)
+	})
+
+	var best *Result
+	for i := 0; i < starts; i++ {
+		if errs[i] != nil {
+			// The serial loop fails at the first erroring start; returning
+			// the lowest-index error preserves equivalence.
+			return nil, errs[i]
+		}
+		if best == nil || results[i].Cut < best.Cut {
+			best = results[i]
+		}
+	}
+	best.Starts = starts
+	return best, nil
+}

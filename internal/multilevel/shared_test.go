@@ -1,0 +1,151 @@
+package multilevel_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/multilevel"
+)
+
+// TestSharedMultistartGoldenEquivalence is the golden guarantee of the shared
+// path: with one private hierarchy per start (hierarchies == starts) every
+// start is an owner — hierarchy build and full descent on the same per-start
+// RNG — so SharedMultistart must reproduce Multistart bit for bit on the
+// IBM01S-03S presets, in the free and fixed-terminals regimes.
+func TestSharedMultistartGoldenEquivalence(t *testing.T) {
+	for _, name := range []string{"IBM01S", "IBM02S", "IBM03S"} {
+		for _, fixedFrac := range []float64{0, 0.2} {
+			p := presetProblem(t, name, 0.08, fixedFrac)
+			const starts = 4
+			want, err := multilevel.Multistart(p, multilevel.Config{}, starts, rand.New(rand.NewPCG(11, 13)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := multilevel.SharedMultistart(p, multilevel.Config{}, starts, starts, rand.New(rand.NewPCG(11, 13)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResult(t, name, want, got)
+		}
+	}
+}
+
+// TestBuildHierarchyDescendMatchesPartition checks the refactoring seam
+// directly: BuildHierarchy followed by Descend on the same rng is exactly
+// Partition.
+func TestBuildHierarchyDescendMatchesPartition(t *testing.T) {
+	p := presetProblem(t, "IBM01S", 0.08, 0.1)
+	want, err := multilevel.Partition(p, multilevel.Config{}, rand.New(rand.NewPCG(3, 7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(3, 7))
+	h, err := multilevel.BuildHierarchy(p, multilevel.Config{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.Descend(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "build+descend", want, got)
+	if h.Levels() != want.Levels {
+		t.Errorf("hierarchy levels = %d, want %d", h.Levels(), want.Levels)
+	}
+	if h.Root() != p {
+		t.Error("hierarchy root is not the input problem")
+	}
+	if h.Coarsest().MovableCount() > 120 {
+		t.Errorf("coarsest level has %d movable vertices, want <= 120", h.Coarsest().MovableCount())
+	}
+}
+
+// TestParallelSharedMultistartWorkers is the determinism contract for the
+// shared driver: with followers in play (hierarchies < starts),
+// ParallelSharedMultistart must return a bit-identical Result for worker
+// counts 1, 2 and 4, all equal to the serial SharedMultistart. Run under
+// -race in CI, which also exercises concurrent follower descents sharing one
+// immutable hierarchy.
+func TestParallelSharedMultistartWorkers(t *testing.T) {
+	for _, fixedFrac := range []float64{0, 0.2} {
+		p := presetProblem(t, "IBM01S", 0.08, fixedFrac)
+		const starts, hierarchies = 6, 2
+		want, err := multilevel.SharedMultistart(p, multilevel.Config{}, starts, hierarchies, rand.New(rand.NewPCG(21, 22)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 4} {
+			cfg := multilevel.Config{Workers: workers}
+			got, err := multilevel.ParallelSharedMultistart(p, cfg, starts, hierarchies, rand.New(rand.NewPCG(21, 22)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResult(t, "workers=2", want, got)
+		}
+	}
+}
+
+// TestSharedMultistartFollowerQuality bounds the price of follower descents:
+// best-of-8 with 2 hierarchies must stay within a small factor of the
+// unshared best-of-8 cut on a mid-size instance.
+func TestSharedMultistartFollowerQuality(t *testing.T) {
+	p := presetProblem(t, "IBM01S", 0.08, 0)
+	unshared, err := multilevel.Multistart(p, multilevel.Config{}, 8, rand.New(rand.NewPCG(31, 32)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := multilevel.SharedMultistart(p, multilevel.Config{}, 8, 2, rand.New(rand.NewPCG(31, 32)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(shared.Cut) > 1.25*float64(unshared.Cut)+2 {
+		t.Errorf("shared best-of-8 cut %d too far above unshared %d", shared.Cut, unshared.Cut)
+	}
+}
+
+// TestHugeNetThresholdConfig covers the new Config field: negative values are
+// rejected by every driver entry point, and sweeping the threshold changes
+// coarsening (tiny thresholds leave nothing to score, so the engine still
+// works, just flatter).
+func TestHugeNetThresholdConfig(t *testing.T) {
+	p := presetProblem(t, "IBM01S", 0.05, 0)
+	bad := multilevel.Config{HugeNetThreshold: -1}
+	if _, err := multilevel.Partition(p, bad, rand.New(rand.NewPCG(1, 1))); err == nil {
+		t.Error("Partition accepted negative HugeNetThreshold")
+	}
+	if _, err := multilevel.SharedMultistart(p, bad, 2, 1, rand.New(rand.NewPCG(1, 1))); err == nil {
+		t.Error("SharedMultistart accepted negative HugeNetThreshold")
+	}
+	if _, err := multilevel.BuildHierarchy(p, bad, rand.New(rand.NewPCG(1, 1))); err == nil {
+		t.Error("BuildHierarchy accepted negative HugeNetThreshold")
+	}
+	for _, thr := range []int{1, 3, 50} {
+		res, err := multilevel.Partition(p, multilevel.Config{HugeNetThreshold: thr}, rand.New(rand.NewPCG(2, 2)))
+		if err != nil {
+			t.Fatalf("threshold %d: %v", thr, err)
+		}
+		if res.Cut < 0 {
+			t.Fatalf("threshold %d: negative cut", thr)
+		}
+	}
+}
+
+// TestPhaseStats checks Config.Stats accounting: all three phases accrue
+// time, and the totals are consistent.
+func TestPhaseStats(t *testing.T) {
+	p := presetProblem(t, "IBM01S", 0.08, 0)
+	var st multilevel.PhaseStats
+	cfg := multilevel.Config{Stats: &st}
+	if _, err := multilevel.Multistart(p, cfg, 2, rand.New(rand.NewPCG(5, 5))); err != nil {
+		t.Fatal(err)
+	}
+	if st.CoarsenNS <= 0 || st.InitNS <= 0 || st.RefineNS <= 0 {
+		t.Errorf("phase times not all positive: %+v", st)
+	}
+	if st.TotalNS() != st.CoarsenNS+st.InitNS+st.RefineNS {
+		t.Errorf("TotalNS inconsistent")
+	}
+	if st.CoarsenAllocs <= 0 || st.InitAllocs <= 0 || st.RefineAllocs <= 0 {
+		t.Errorf("phase allocs not all positive: %+v", st)
+	}
+}

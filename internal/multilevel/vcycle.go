@@ -28,6 +28,9 @@ func VCycle(p *partition.Problem, a partition.Assignment, cfg Config, rng *rand.
 	if err := p.Feasible(a); err != nil {
 		return nil, fmt.Errorf("multilevel: VCycle input: %w", err)
 	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.effective()
 	maxCluster := kwayMaxCluster(p)
 
@@ -43,7 +46,7 @@ func VCycle(p *partition.Problem, a partition.Assignment, cfg Config, rng *rand.
 		if curr.problem.MovableCount() <= cfg.CoarsestSize {
 			break
 		}
-		coarse, clusterOf, ok := coarsenLevel(cfg.Scheme, curr.problem, curr.sol, maxCluster, cfg.ClusteringRatio, rng)
+		coarse, clusterOf, ok := coarsenLevel(cfg.Scheme, curr.problem, curr.sol, maxCluster, cfg.ClusteringRatio, cfg.HugeNetThreshold, rng)
 		if !ok {
 			break
 		}

@@ -1,0 +1,51 @@
+// Package profiling wires the opt-in -cpuprofile/-memprofile flags of the
+// command-line tools to runtime/pprof. The multilevel engine labels its
+// phases with pprof goroutine labels (phase=coarsen|init|refine), so a CPU
+// profile written here can be narrowed to one phase with
+// `go tool pprof -tagfocus phase=refine cpu.pprof`.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start enables the requested pprof outputs. An empty path skips that
+// profile. The returned stop function flushes them and must run before
+// os.Exit; it is non-nil even when both paths are empty.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+			fmt.Printf("wrote %s\n", cpuPath)
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // capture live objects, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			fmt.Printf("wrote %s\n", memPath)
+		}
+	}, nil
+}
