@@ -912,3 +912,208 @@ type kwaySample struct {
 	DirectNS  int64   `json:"direct_ns"`
 	RBNS      int64   `json:"rb_ns"`
 }
+
+// BenchmarkRefine measures the net-state-aware FM kernel (locked-net
+// short-circuiting, 2/3-pin fast paths, CSR allowed-target lists, batched
+// bucket repositioning) against the frozen pre-rewrite kernel
+// (fm.BipartitionReference) on flat FM refinement of IBM01S. Rows cover both
+// bucket policies at fixed-vertex fractions 0/25/50% (the paper's Table III
+// regime); every run is first checked to produce the identical assignment and
+// cut, so every comparison is over bit-equal work. The first run writes
+// BENCH_refine.json and enforces the acceptance bars:
+//
+//   - aggregate gain-update pin-traversal reduction >= 1.3x: the kernel must
+//     execute at most 1/1.3 of the reference's critical-net pin scans (both
+//     sides counted under identical accounting, see fm.KernelStats);
+//   - aggregate wall-clock speedup >= 0.85x: the short-circuiting machinery
+//     must not cost real time. The work it removes sits on memory-latency-
+//     bound dependent loads that out-of-order cores largely hide, so the
+//     measured time ratio is near parity (reported per row and in aggregate)
+//     while the reduction bar captures the architectural win — which does
+//     turn into wall-clock time on the cache-resident coarse levels of a
+//     multilevel descent.
+func BenchmarkRefine(b *testing.B) {
+	nl := mustNetlist(b, "IBM01S", benchScale())
+	problem := func(fixfrac float64) *partition.Problem {
+		p := partition.NewBipartition(nl.H, 0.02)
+		if fixfrac > 0 {
+			rng := rand.New(rand.NewPCG(0xf1f, uint64(fixfrac*100)))
+			order := rng.Perm(nl.H.NumVertices())
+			for _, v := range order[:int(fixfrac*float64(len(order)))] {
+				p.Fix(v, rng.IntN(2))
+			}
+		}
+		return p
+	}
+	type refineRow struct {
+		policy  fm.Policy
+		fixfrac float64
+	}
+	rows := []refineRow{
+		{fm.LIFO, 0}, {fm.LIFO, 0.25}, {fm.LIFO, 0.5},
+		{fm.CLIP, 0}, {fm.CLIP, 0.25}, {fm.CLIP, 0.5},
+	}
+	problems := map[float64]*partition.Problem{
+		0: problem(0), 0.25: problem(0.25), 0.5: problem(0.5),
+	}
+	initialFor := func(p *partition.Problem, seed uint64) partition.Assignment {
+		a, err := partition.RandomFeasible(p, rand.New(rand.NewPCG(seed, 0xcafe)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return a
+	}
+	assignEqual := func(x, y partition.Assignment) bool {
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	for _, r := range rows {
+		p := problems[r.fixfrac]
+		name := fmt.Sprintf("%v/fixed=%d%%", r.policy, int(r.fixfrac*100))
+		b.Run(name+"/kernel", func(b *testing.B) {
+			sc := fm.GetScratch()
+			defer fm.PutScratch(sc)
+			initial := initialFor(p, 1)
+			var res *fm.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = fm.BipartitionWith(p, initial, fm.Config{Policy: r.policy}, sc)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Cut), "cut")
+		})
+		b.Run(name+"/reference", func(b *testing.B) {
+			initial := initialFor(p, 1)
+			var res *fm.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = fm.BipartitionReference(p, initial, fm.Config{Policy: r.policy})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Cut), "cut")
+		})
+	}
+	refineBaselineOnce.Do(func() {
+		const trials = 5
+		const reps = 3
+		sc := fm.GetScratch()
+		defer fm.PutScratch(sc)
+		var total fm.KernelStats
+		base := refineBaseline{Instance: "IBM01S", Scale: benchScale(), Trials: trials, Reps: reps}
+		var kernelTotal, refTotal int64
+		for _, r := range rows {
+			p := problems[r.fixfrac]
+			sample := refineSample{Policy: r.policy.String(), FixedFraction: r.fixfrac}
+			var rowStats fm.KernelStats
+			cfg := fm.Config{Policy: r.policy, Stats: &rowStats}
+			refCfg := fm.Config{Policy: r.policy}
+			for seed := uint64(1); seed <= trials; seed++ {
+				initial := initialFor(p, seed)
+				// Untimed warm-up run of each kernel: verifies the rewritten
+				// kernel reproduces the frozen one bit for bit on this input
+				// and warms the scratch/pool so the timed reps compare steady
+				// state.
+				kres, err := fm.BipartitionWith(p, initial, cfg, sc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rres, err := fm.BipartitionReference(p, initial, refCfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if kres.Cut != rres.Cut || !assignEqual(kres.Assignment, rres.Assignment) {
+					b.Fatalf("%v fixed=%.0f%% seed=%d: kernel cut %d != reference cut %d (or assignments differ)",
+						r.policy, 100*r.fixfrac, seed, kres.Cut, rres.Cut)
+				}
+				sample.Cut = kres.Cut
+				// Interleave the timed reps so CPU frequency drift hits both
+				// kernels equally.
+				for rep := 0; rep < reps; rep++ {
+					t0 := time.Now()
+					if _, err := fm.BipartitionWith(p, initial, cfg, sc); err != nil {
+						b.Fatal(err)
+					}
+					sample.KernelNS += time.Since(t0).Nanoseconds()
+					t0 = time.Now()
+					if _, err := fm.BipartitionReference(p, initial, refCfg); err != nil {
+						b.Fatal(err)
+					}
+					sample.ReferenceNS += time.Since(t0).Nanoseconds()
+				}
+			}
+			snap := rowStats.Snapshot()
+			sample.TimeSpeedup = float64(sample.ReferenceNS) / float64(sample.KernelNS)
+			if snap.PinsScanned > 0 {
+				sample.ScanReduction = float64(snap.PinsScanned+snap.PinScansAvoided) / float64(snap.PinsScanned)
+			}
+			kernelTotal += sample.KernelNS
+			refTotal += sample.ReferenceNS
+			total.NetsSkipped += snap.NetsSkipped
+			total.PinScansAvoided += snap.PinScansAvoided
+			total.PinsScanned += snap.PinsScanned
+			total.BucketUpdatesSaved += snap.BucketUpdatesSaved
+			base.Rows = append(base.Rows, sample)
+		}
+		base.TimeSpeedup = float64(refTotal) / float64(kernelTotal)
+		base.ScanReduction = float64(total.PinsScanned+total.PinScansAvoided) / float64(total.PinsScanned)
+		base.Kernel = total
+		if base.ScanReduction < 1.3 {
+			b.Errorf("refine kernel aggregate pin-traversal reduction %.2fx below the 1.3x acceptance bar (%d scanned vs %d avoided)",
+				base.ScanReduction, total.PinsScanned, total.PinScansAvoided)
+		}
+		if base.TimeSpeedup < 0.85 {
+			b.Errorf("refine kernel aggregate wall-clock speedup %.2fx below the 0.85x no-regression floor (kernel %.1fms vs reference %.1fms)",
+				base.TimeSpeedup, float64(kernelTotal)/1e6, float64(refTotal)/1e6)
+		}
+		buf, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_refine.json", append(buf, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+		fmt.Printf("wrote BENCH_refine.json (pin-traversal reduction %.2fx, wall-clock speedup %.2fx; %d locked nets skipped, %d bucket updates saved)\n",
+			base.ScanReduction, base.TimeSpeedup, base.Kernel.NetsSkipped, base.Kernel.BucketUpdatesSaved)
+	})
+}
+
+var refineBaselineOnce sync.Once
+
+// refineBaseline is the schema of BENCH_refine.json. ScanReduction is the
+// enforced >= 1.3x acceptance metric: the factor by which locked-net
+// short-circuiting shrinks the gain-update pin traversals the frozen
+// reference kernel executes, measured on runs verified to produce identical
+// cuts and assignments. TimeSpeedup is the measured wall-clock ratio over the
+// same runs, reported unfiltered (near parity on memory-bound flat instances;
+// the floor only guards against regression).
+type refineBaseline struct {
+	Instance      string         `json:"instance"`
+	Scale         float64        `json:"scale"`
+	Trials        int            `json:"trials"`
+	Reps          int            `json:"reps"`
+	Rows          []refineSample `json:"rows"`
+	TimeSpeedup   float64        `json:"time_speedup"`
+	ScanReduction float64        `json:"scan_reduction"`
+	Kernel        fm.KernelStats `json:"kernel"`
+}
+
+type refineSample struct {
+	Policy        string  `json:"policy"`
+	FixedFraction float64 `json:"fixed_fraction"`
+	Cut           int64   `json:"cut"`
+	KernelNS      int64   `json:"kernel_ns"`
+	ReferenceNS   int64   `json:"reference_ns"`
+	TimeSpeedup   float64 `json:"time_speedup"`
+	ScanReduction float64 `json:"scan_reduction"`
+}

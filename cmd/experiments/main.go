@@ -4,7 +4,7 @@
 // Usage:
 //
 //	experiments -exp table1|fig1|fig2|table2|table3|table4|multiway|all
-//	            [-scale 0.25] [-trials 10] [-seed 1] [-workers 0]
+//	            [-scale 0.25] [-trials 10] [-seed 1] [-workers 0] [-stats]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Independent experiment cells run on -workers goroutines (0 = GOMAXPROCS);
@@ -27,6 +27,7 @@ import (
 	"repro/internal/benchgen"
 	"repro/internal/experiments"
 	"repro/internal/gen"
+	"repro/internal/multilevel"
 	"repro/internal/place"
 	"repro/internal/profiling"
 	"repro/internal/rent"
@@ -40,12 +41,16 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "random seed")
 		workers    = flag.Int("workers", 0, "goroutines for independent cells (0 = GOMAXPROCS)")
 		csvOut     = flag.String("csv", "", "also write fig1/fig2 sweep data as CSV to this file")
+		stats      = flag.Bool("stats", false, "print per-phase timings and FM kernel work counters after the run")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	csvPath = *csvOut
 	cellWorkers = *workers
+	if *stats {
+		mlStats = &multilevel.PhaseStats{}
+	}
 	stop, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -56,6 +61,17 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
+	}
+	if mlStats != nil {
+		k := mlStats.Kernel.Snapshot()
+		fmt.Printf("\nmultilevel phases: coarsen %.1f ms, init %.1f ms, refine %.1f ms\n",
+			float64(mlStats.CoarsenNS)/1e6, float64(mlStats.InitNS)/1e6, float64(mlStats.RefineNS)/1e6)
+		red := "-"
+		if k.PinsScanned > 0 {
+			red = fmt.Sprintf("%.2fx", float64(k.PinsScanned+k.PinScansAvoided)/float64(k.PinsScanned))
+		}
+		fmt.Printf("fm kernel: %d locked nets skipped, %d/%d pin scans avoided/executed (%s reduction), %d bucket updates saved\n",
+			k.NetsSkipped, k.PinScansAvoided, k.PinsScanned, red, k.BucketUpdatesSaved)
 	}
 }
 
@@ -106,6 +122,18 @@ var csvPath string
 // cellWorkers bounds the goroutines running independent experiment cells.
 var cellWorkers int
 
+// mlStats, when -stats is set, accumulates phase timings and FM kernel work
+// counters across every multilevel run of the experiments (updated
+// atomically, so concurrent cells are safe; the per-phase wall-clock numbers
+// overlap under -workers > 1 and are only attributable serially).
+var mlStats *multilevel.PhaseStats
+
+// mlConfig is the multilevel engine config the experiment sweeps run with:
+// defaults, plus the shared stats sink when -stats is set.
+func mlConfig() multilevel.Config {
+	return multilevel.Config{Stats: mlStats}
+}
+
 func figure(name string, scale float64, trials int, seed uint64) error {
 	nl, err := netlist(name, scale)
 	if err != nil {
@@ -115,6 +143,7 @@ func figure(name string, scale float64, trials int, seed uint64) error {
 		Trials:  trials,
 		Seed:    seed,
 		Workers: cellWorkers,
+		ML:      mlConfig(),
 	})
 	if err != nil {
 		return err
@@ -212,6 +241,7 @@ func multiway(scale float64, trials int, seed uint64) error {
 		Trials:    trials,
 		Seed:      seed,
 		Workers:   cellWorkers,
+		ML:        mlConfig(),
 	})
 	if err != nil {
 		return err
@@ -229,6 +259,7 @@ func constraint(scale float64, trials int, seed uint64) error {
 		Trials:    trials,
 		Seed:      seed,
 		Workers:   cellWorkers,
+		ML:        mlConfig(),
 	})
 	if err != nil {
 		return err
@@ -245,6 +276,7 @@ func profile(scale float64, trials int, seed uint64) error {
 		Fractions: []float64{0, 0.10, 0.30, 0.50},
 		Runs:      maxInt(trials, 10),
 		Seed:      seed,
+		ML:        mlConfig(),
 	})
 	if err != nil {
 		return err
@@ -262,6 +294,7 @@ func starts(scale float64, trials int, seed uint64) error {
 		Trials:    trials,
 		Seed:      seed,
 		Workers:   cellWorkers,
+		ML:        mlConfig(),
 	})
 	if err != nil {
 		return err

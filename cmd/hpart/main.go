@@ -6,7 +6,7 @@
 //
 //	hpart -dir bench -base IBM01SA_L0_V [-engine ml|lifo|clip] [-starts 4]
 //	      [-kway direct|rb] [-cutoff 0.25] [-seed 1] [-workers 0]
-//	      [-shared-coarsen] [-hierarchies 2]
+//	      [-shared-coarsen] [-hierarchies 2] [-stats]
 //	      [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	      [-out solution.sol]
 //
@@ -54,6 +54,7 @@ func main() {
 		hierarchies = flag.Int("hierarchies", 2, "shared hierarchies to build with -shared-coarsen")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		stats       = flag.Bool("stats", false, "print per-phase timings and FM kernel work counters after the run")
 		out         = flag.String("out", "", "write the best assignment to this file")
 	)
 	flag.Parse()
@@ -67,7 +68,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hpart:", err)
 		os.Exit(1)
 	}
-	err = run(*dir, *base, *engine, *kway, *starts, *cutoff, *seed, *workers, *shared, *hierarchies, *out)
+	err = run(*dir, *base, *engine, *kway, *starts, *cutoff, *seed, *workers, *shared, *hierarchies, *stats, *out)
 	stop()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hpart:", err)
@@ -75,7 +76,7 @@ func main() {
 	}
 }
 
-func run(dir, base, engine, kway string, starts int, cutoff float64, seed uint64, workers int, shared bool, hierarchies int, out string) error {
+func run(dir, base, engine, kway string, starts int, cutoff float64, seed uint64, workers int, shared bool, hierarchies int, stats bool, out string) error {
 	p, err := bookshelf.ReadProblem(dir, base)
 	if err != nil {
 		return err
@@ -89,9 +90,14 @@ func run(dir, base, engine, kway string, starts int, cutoff float64, seed uint64
 	t0 := time.Now()
 	var best partition.Assignment
 	var cut int64
+	var phases *multilevel.PhaseStats
+	var flatKernel fm.KernelStats
+	if stats {
+		phases = &multilevel.PhaseStats{}
+	}
 	switch engine {
 	case "ml":
-		cfg := multilevel.Config{MaxPassFraction: passFraction(cutoff), Workers: workers}
+		cfg := multilevel.Config{MaxPassFraction: passFraction(cutoff), Workers: workers, Stats: phases}
 		switch {
 		case p.K == 2 && shared:
 			res, err := multilevel.ParallelSharedMultistart(p, cfg, starts, hierarchies, rng)
@@ -119,7 +125,7 @@ func run(dir, base, engine, kway string, starts int, cutoff float64, seed uint64
 				if err != nil {
 					return err
 				}
-				ref, err := fm.KWayPartition(p, res.Assignment, fm.Config{Policy: fm.CLIP, MaxPassFraction: passFraction(cutoff)})
+				ref, err := fm.KWayPartition(p, res.Assignment, fm.Config{Policy: fm.CLIP, MaxPassFraction: passFraction(cutoff), Stats: flatStats(stats, &flatKernel)})
 				if err != nil {
 					return err
 				}
@@ -135,7 +141,7 @@ func run(dir, base, engine, kway string, starts int, cutoff float64, seed uint64
 		if engine == "clip" {
 			policy = fm.CLIP
 		}
-		cfg := fm.Config{Policy: policy, MaxPassFraction: passFraction(cutoff)}
+		cfg := fm.Config{Policy: policy, MaxPassFraction: passFraction(cutoff), Stats: flatStats(stats, &flatKernel)}
 		for s := 0; s < starts; s++ {
 			var a partition.Assignment
 			var c int64
@@ -165,6 +171,9 @@ func run(dir, base, engine, kway string, starts int, cutoff float64, seed uint64
 	}
 	fmt.Printf("best cut over %d start(s): %d   (%.1f ms)\n",
 		starts, cut, float64(time.Since(t0).Microseconds())/1000)
+	if stats {
+		printStats(phases, &flatKernel)
+	}
 	if err := p.Feasible(best); err != nil {
 		return fmt.Errorf("internal error: result infeasible: %w", err)
 	}
@@ -180,6 +189,44 @@ func run(dir, base, engine, kway string, starts int, cutoff float64, seed uint64
 		fmt.Printf("wrote %s\n", out)
 	}
 	return nil
+}
+
+// flatStats returns the kernel-counter sink for the flat engines (nil when
+// -stats is off, so the hot path skips the atomics).
+func flatStats(enabled bool, k *fm.KernelStats) *fm.KernelStats {
+	if !enabled {
+		return nil
+	}
+	return k
+}
+
+// printStats reports the per-phase breakdown (multilevel engines) and the FM
+// kernel's net-state-aware work counters.
+func printStats(phases *multilevel.PhaseStats, flat *fm.KernelStats) {
+	kernel := flat.Snapshot()
+	if phases != nil {
+		if phases.TotalNS() > 0 {
+			fmt.Printf("phases: coarsen %.1f ms, init %.1f ms, refine %.1f ms\n",
+				float64(phases.CoarsenNS)/1e6, float64(phases.InitNS)/1e6, float64(phases.RefineNS)/1e6)
+		}
+		ml := phases.Kernel.Snapshot()
+		kernel.NetsSkipped += ml.NetsSkipped
+		kernel.PinScansAvoided += ml.PinScansAvoided
+		kernel.PinsScanned += ml.PinsScanned
+		kernel.BucketUpdatesSaved += ml.BucketUpdatesSaved
+	}
+	fmt.Printf("fm kernel: %d locked nets skipped, %d/%d pin scans avoided/executed (%s reduction), %d bucket updates saved\n",
+		kernel.NetsSkipped, kernel.PinScansAvoided, kernel.PinsScanned,
+		scanReduction(kernel), kernel.BucketUpdatesSaved)
+}
+
+// scanReduction renders the kernel's gain-update pin-traversal reduction over
+// the frozen reference ("1.91x", or "-" before any net has been scanned).
+func scanReduction(k fm.KernelStats) string {
+	if k.PinsScanned == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2fx", float64(k.PinsScanned+k.PinScansAvoided)/float64(k.PinsScanned))
 }
 
 func passFraction(cutoff float64) float64 {

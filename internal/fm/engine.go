@@ -55,6 +55,11 @@ type Config struct {
 	// rather than a fixed move budget, the pass stops when it has
 	// demonstrably gone stale. Both cutoffs may be combined.
 	StallCutoff int
+	// Stats, when non-nil, accumulates the net-state-aware kernel's work
+	// counters (nets skipped, pin scans avoided, bucket updates saved)
+	// atomically across runs, so one KernelStats may be shared by concurrent
+	// workers.
+	Stats *KernelStats
 }
 
 func (c Config) maxPasses() int {
@@ -113,11 +118,51 @@ type kernel struct {
 	cfg Config
 	sc  *Scratch
 
-	gain      []int64 // per move id v*k+t
-	key       []int64 // bucket key per move id (== gain under LIFO)
+	// gk interleaves the actual gain (gk[2*mid]) and the bucket key
+	// (gk[2*mid+1], == gain under LIFO, delta-only under CLIP) of each move
+	// id. Every hot-path delta adjusts both, so interleaving puts the pair on
+	// one cache line instead of two parallel arrays apart.
+	gk        []int64
 	nodes     *bucketNodes
 	buckets   []gainBuckets // buckets[q] holds moves of vertices in part q
 	partOrder []int32
+
+	// The per-pass locked-net counters live inside the packed cutModel
+	// .passNet records (one cache line shared by four nets at k = 2):
+	//
+	//   - slots [0, k) count this pass's locked pins (fixed terminals plus
+	//     moved vertices) per part, and slot k+1 the parts with at least one.
+	//     Once the cover reaches k — tracked only for nets of >=
+	//     lockTrackMinPins pins — the net's gain contributions are frozen for
+	//     the rest of the pass (see applyMove) and its pins are never scanned
+	//     again. Smaller nets are left untracked: their dedicated fast paths
+	//     cost less, and a 2-pin net can never become covered mid-pass anyway
+	//     (the mover itself is still unlocked).
+	//   - slot k counts the net's movable pins not yet locked this pass
+	//     (seeded from cutModel.movablePins each initPass). When the moving
+	//     vertex is a net's last unlocked movable pin, every gain delta would
+	//     land on a locked or immovable pin — both out of the buckets — so
+	//     the net is skipped for the cost of one counter decrement. This
+	//     works for nets of any size, including the 2-pin nets the per-part
+	//     counters cannot cover.
+
+	// Batched bucket repositioning: touch() records gain deltas in touchLog
+	// (with duplicates) while stamping each move id's latest log position in
+	// lastPos, and applyMove repositions each touched move id exactly once,
+	// in the chronological order of last touches, which reproduces the
+	// incremental scheme's LIFO bucket order byte for byte.
+	touchLog []int32
+	lastPos  []int32
+
+	// sortGain is a dense gain-by-move-id copy used only by CLIP's seeding
+	// sort (see initPass).
+	sortGain []int64
+
+	// Work counters for Config.Stats.
+	netsSkipped        int64
+	pinScansAvoided    int64
+	pinsScanned        int64
+	bucketUpdatesSaved int64
 }
 
 // kernelResult is the policy layer's raw outcome, wrapped into Result or
@@ -164,8 +209,7 @@ func BipartitionWith(p *partition.Problem, initial partition.Assignment, cfg Con
 func newKernel(p *partition.Problem, initial partition.Assignment, cfg Config, sc *Scratch) *kernel {
 	e := &kernel{cfg: cfg, sc: sc}
 	e.cutModel.init(p, initial, sc)
-	e.gain = sc.gain
-	e.key = sc.key
+	e.gk = sc.gk
 	// Bucket key range: the largest possible |gain| is the max over movable
 	// vertices of the total incident net weight; CLIP deltas can reach twice
 	// that. Saturate beyond.
@@ -191,6 +235,9 @@ func newKernel(p *partition.Problem, initial partition.Assignment, cfg Config, s
 	e.nodes = &sc.nodes
 	e.buckets = sc.buckets
 	e.partOrder = sc.partOrder
+	e.touchLog = sc.touchLog[:0]
+	e.lastPos = sc.lastPos
+	e.sortGain = sc.sortGain
 	return e
 }
 
@@ -198,7 +245,7 @@ func (e *kernel) run() *kernelResult {
 	res := &kernelResult{movable: e.nMovable}
 	obj := partition.KMinus1(e.h, e.a)
 	if e.nMovable == 0 {
-		res.a = e.a
+		res.a = e.a.Clone() // a is scratch-backed; the result must not alias it
 		res.obj = obj
 		return res
 	}
@@ -223,7 +270,11 @@ func (e *kernel) run() *kernelResult {
 		}
 	}
 	e.sc.moveLog = moveLog // keep any growth for the next run
-	res.a = e.a
+	e.sc.touchLog = e.touchLog[:0] // keep any growth for the next run
+	if e.cfg.Stats != nil {
+		e.cfg.Stats.add(e.netsSkipped, e.pinScansAvoided, e.pinsScanned, e.bucketUpdatesSaved)
+	}
+	res.a = e.a.Clone() // a is scratch-backed; the result must not alias it
 	res.obj = obj
 	return res
 }
@@ -244,7 +295,7 @@ func (e *kernel) runPass(limit, stall int, moveLog *[]moveRec) PassStats {
 		}
 		v := mid / int32(e.k)
 		t := int(mid) % e.k
-		g := e.gain[mid]
+		g := e.gk[2*mid]
 		from := e.a[v]
 		e.applyMove(v, t)
 		cum += g
@@ -297,34 +348,52 @@ func (e *kernel) initPass() {
 	for q := range e.buckets {
 		e.buckets[q].resetHeads()
 	}
+	// Reset the per-pass net records to the immovable pins: every pass
+	// starts with exactly the fixed terminals locked and every movable pin
+	// unlocked. One sequential walk; the arrays are all dense.
 	k := e.k
+	S := e.nsStride
+	for en := 0; en < e.h.NumNets(); en++ {
+		st := en * S
+		copy(e.passNet[st:st+k], e.fixedLocked[en*k:(en+1)*k])
+		e.passNet[st+k] = e.movablePins[en]
+		e.passNet[st+k+1] = e.fixedCover[en]
+	}
+	clip := e.cfg.Policy == CLIP
 	order := e.sc.order[:0]
 	for v := 0; v < e.h.NumVertices(); v++ {
 		if !e.movable[v] {
 			continue
 		}
 		e.locked[v] = false
-		mask := e.p.MaskOf(v)
 		from := int(e.a[v])
-		for t := 0; t < k; t++ {
-			if t == from || !mask.Contains(t) {
+		for _, t8 := range e.targets(int32(v)) {
+			t := int(t8)
+			if t == from {
 				continue
 			}
 			mid := int32(v*k + t)
-			e.gain[mid] = e.moveGain(int32(v), t)
+			g := e.moveGain(int32(v), t)
+			e.gk[2*mid] = g
+			if clip {
+				// sortGain is a dense per-mid copy just for the seeding
+				// sort: the comparator gathers half the memory span it
+				// would over the interleaved gain/key pairs.
+				e.sortGain[mid] = g
+			}
 			order = append(order, mid)
 		}
 	}
-	if e.cfg.Policy == CLIP {
-		sort.Slice(order, func(i, j int) bool { return e.gain[order[i]] < e.gain[order[j]] })
+	if clip {
+		sort.Slice(order, func(i, j int) bool { return e.sortGain[order[i]] < e.sortGain[order[j]] })
 	}
 	for _, mid := range order {
-		if e.cfg.Policy == CLIP {
-			e.key[mid] = 0
+		if clip {
+			e.gk[2*mid+1] = 0
 		} else {
-			e.key[mid] = e.gain[mid]
+			e.gk[2*mid+1] = e.gk[2*mid]
 		}
-		e.buckets[e.a[mid/int32(k)]].insert(mid, e.key[mid])
+		e.buckets[e.a[mid/int32(k)]].insert(mid, e.gk[2*mid+1])
 	}
 	e.sc.order = order
 }
@@ -361,7 +430,7 @@ func (e *kernel) selectMove() int32 {
 				break
 			}
 			misses := 0
-			for mid := b.head[idx]; mid >= 0; mid = e.nodes.next[mid] {
+			for mid := b.head[idx]; mid >= 0; mid = e.nodes.next(mid) {
 				v := mid / int32(k)
 				t := int(mid) % k
 				if e.feasibleMove(v, t) {
@@ -378,9 +447,27 @@ func (e *kernel) selectMove() int32 {
 	return best
 }
 
+// lockTrackMinPins is the smallest net size the locked-net counters track.
+// Below it the skip can never pay for its own bookkeeping: the dedicated 2-
+// and 3-pin paths already cost less than the two extra cache lines per
+// (net, move) the counters touch, and a 2-pin net cannot become covered
+// mid-pass at all (covering both endpoints' parts needs two locked pins, but
+// the net is only ever processed through a still-unlocked pin).
+const lockTrackMinPins = 4
+
 // applyMove moves v to part t, locks it, and updates affected move gains via
 // the k-way critical-net rules (which reduce to the classic FM rules when
-// k = 2).
+// k = 2). It is net-state-aware:
+//
+//   - A net of >= lockTrackMinPins pins whose locked pins already cover every
+//     part is skipped without scanning its pins: Φ(q) >= 1 for all q rules out
+//     the "part joins/leaves the net" cases, and any Φ(q) == 1 pin is itself
+//     locked, so the criticality cases would only reach locked pins. Only the
+//     Φ and locked-pin counters are shifted.
+//   - 2-pin and 3-pin nets take dedicated paths that branch directly on the
+//     other pins' parts instead of running the generic Φ-switch twice.
+//   - Gain deltas go through touch(), which defers the bucket repositioning;
+//     each touched move id is repositioned exactly once at the end.
 func (e *kernel) applyMove(v int32, t int) {
 	h := e.h
 	k := e.k
@@ -389,72 +476,228 @@ func (e *kernel) applyMove(v int32, t int) {
 	for x := 0; x < k; x++ {
 		e.buckets[from].remove(v*int32(k) + int32(x))
 	}
+	e.touchLog = e.touchLog[:0]
+	S := e.nsStride
 	for _, en := range h.NetsOf(int(v)) {
+		base := int(en) * k
+		st := int(en) * S
+		ns := e.passNet[st : st+S : st+S]
+		// v locks now. If it was the net's last unlocked movable pin, every
+		// gain delta would land on a locked or immovable pin — both out of
+		// the buckets — so only Φ shifts. The skip decisions and the
+		// locked-pin bookkeeping below all hit the net's one packed record,
+		// so a skipped net costs the record's line plus the Φ row it shifts.
+		un := ns[k] - 1
+		ns[k] = un
+		if un == 0 {
+			preT := e.pinCount[base+t]
+			e.pinCount[base+from]--
+			e.pinCount[base+t]++
+			e.netsSkipped++
+			// Count the pin traversals the incremental scheme executes for
+			// this net: one full scan per critical Φ case (t joining or nearly
+			// joined pre-move, from left or nearly left post-move).
+			sz := int64(h.NetSize(int(en)))
+			if preT <= 1 {
+				e.pinScansAvoided += sz
+			}
+			if e.pinCount[base+from] <= 1 {
+				e.pinScansAvoided += sz
+			}
+			continue
+		}
+		size := h.NetSize(int(en))
+		tracked := size >= lockTrackMinPins
+		// Evaluate coverage before adding v's own lock contribution at t.
+		if tracked && int(ns[k+1]) == k {
+			preT := e.pinCount[base+t]
+			e.pinCount[base+from]--
+			e.pinCount[base+t]++
+			ns[t]++ // cover already includes t
+			e.netsSkipped++
+			// Coverage bounds Φ(t) >= 1 and post-move Φ(from) >= 1, so only
+			// the two "== 1" critical cases can charge traversals here.
+			if preT == 1 {
+				e.pinScansAvoided += int64(size)
+			}
+			if e.pinCount[base+from] == 1 {
+				e.pinScansAvoided += int64(size)
+			}
+			continue
+		}
 		w := h.NetWeight(int(en))
 		pins := h.Pins(int(en))
-		base := int(en) * k
-		// Before the move.
-		switch e.pinCount[base+t] {
-		case 0:
-			// Part t joins the net: moves toward t stop adding a part.
-			for _, u := range pins {
-				e.deltaMove(u, t, w)
+		preT := e.pinCount[base+t]
+		switch size {
+		case 2:
+			u := pins[0]
+			if u == v {
+				u = pins[1]
 			}
-		case 1:
-			// The lone t pin stops being critical for leaving t.
-			for _, u := range pins {
-				if u != v && int(e.a[u]) == t {
-					e.deltaAll(u, -w)
+			uk := u * int32(k)
+			switch int(e.a[u]) {
+			case t:
+				// v joins u: the net leaves the cut entirely.
+				e.deltaAll(u, -w)
+				e.pinCount[base+from]--
+				e.pinCount[base+t]++
+				e.touch(uk+int32(from), -w)
+			case from:
+				// v leaves u behind: the net enters the cut.
+				e.touch(uk+int32(t), w)
+				e.pinCount[base+from]--
+				e.pinCount[base+t]++
+				e.deltaAll(u, w)
+			default:
+				// Cut either way (k >= 3): only u's t/from moves shift.
+				e.touch(uk+int32(t), w)
+				e.pinCount[base+from]--
+				e.pinCount[base+t]++
+				e.touch(uk+int32(from), -w)
+			}
+		case 3:
+			var u1, u2 int32
+			switch v {
+			case pins[0]:
+				u1, u2 = pins[1], pins[2]
+			case pins[1]:
+				u1, u2 = pins[0], pins[2]
+			default:
+				u1, u2 = pins[0], pins[1]
+			}
+			switch e.pinCount[base+t] {
+			case 0:
+				e.touch(u1*int32(k)+int32(t), w)
+				e.touch(u2*int32(k)+int32(t), w)
+			case 1:
+				if int(e.a[u1]) == t {
+					e.deltaAll(u1, -w)
+				} else if int(e.a[u2]) == t {
+					e.deltaAll(u2, -w)
+				}
+			}
+			e.pinCount[base+from]--
+			e.pinCount[base+t]++
+			switch e.pinCount[base+from] {
+			case 0:
+				e.touch(u1*int32(k)+int32(from), -w)
+				e.touch(u2*int32(k)+int32(from), -w)
+			case 1:
+				if int(e.a[u1]) == from {
+					e.deltaAll(u1, w)
+				} else if int(e.a[u2]) == from {
+					e.deltaAll(u2, w)
+				}
+			}
+		default:
+			// Generic Φ-switch. Before the move:
+			switch e.pinCount[base+t] {
+			case 0:
+				// Part t joins the net: moves toward t stop adding a part.
+				for _, u := range pins {
+					e.touch(u*int32(k)+int32(t), w)
+				}
+			case 1:
+				// The lone t pin stops being critical for leaving t.
+				for _, u := range pins {
+					if u != v && int(e.a[u]) == t {
+						e.deltaAll(u, -w)
+					}
+				}
+			}
+			e.pinCount[base+from]--
+			e.pinCount[base+t]++
+			// After the move:
+			switch e.pinCount[base+from] {
+			case 0:
+				// Part from left the net: moves toward from now add a part.
+				for _, u := range pins {
+					e.touch(u*int32(k)+int32(from), -w)
+				}
+			case 1:
+				// The lone remaining from pin became critical.
+				for _, u := range pins {
+					if u != v && int(e.a[u]) == from {
+						e.deltaAll(u, w)
+					}
 				}
 			}
 		}
-		e.pinCount[base+from]--
-		e.pinCount[base+t]++
-		// After the move.
-		switch e.pinCount[base+from] {
-		case 0:
-			// Part from left the net: moves toward from now add a part.
-			for _, u := range pins {
-				e.deltaMove(u, from, -w)
+		// Charge the executed traversals under the same accounting the skip
+		// paths use for avoided ones (the 2-/3-pin paths are charged as if
+		// they scanned, so the reduction counters never credit them).
+		if preT <= 1 {
+			e.pinsScanned += int64(size)
+		}
+		if e.pinCount[base+from] <= 1 {
+			e.pinsScanned += int64(size)
+		}
+		// v is now a locked pin of this net in part t.
+		if tracked {
+			if ns[t] == 0 {
+				ns[k+1]++
 			}
-		case 1:
-			// The lone remaining from pin became critical.
-			for _, u := range pins {
-				if u != v && int(e.a[u]) == from {
-					e.deltaAll(u, w)
-				}
-			}
+			ns[t]++
 		}
 	}
+	e.flushTouches()
 	e.moveVertex(v, from, t)
 }
 
-// deltaMove adjusts the gain and bucket position of u's move toward part t,
-// if that move is in play.
-func (e *kernel) deltaMove(u int32, t int, d int64) {
-	if e.locked[u] || !e.movable[u] || int(e.a[u]) == t || !e.p.MaskOf(int(u)).Contains(t) {
+// touch adjusts the gain of move id mid if it is live (present in a bucket)
+// and logs it for deferred repositioning. Bucket membership subsumes the old
+// per-delta guard: initPass inserts exactly the movable, mask-allowed,
+// non-current-part moves, and the only mid-pass removals are lock-time, so
+// inIdx >= 0 ⟺ "unlocked ∧ movable ∧ t ≠ a(u) ∧ mask allows t".
+func (e *kernel) touch(mid int32, d int64) {
+	if e.nodes.in(mid) < 0 {
 		return
 	}
-	mid := u*int32(e.k) + int32(t)
-	e.gain[mid] += d
-	e.key[mid] += d
-	e.buckets[e.a[u]].update(mid, e.key[mid])
+	e.gk[2*mid] += d
+	e.gk[2*mid+1] += d
+	e.lastPos[mid] = int32(len(e.touchLog))
+	e.touchLog = append(e.touchLog, mid)
 }
 
 // deltaAll adjusts the gains of every move of u (its from-side criticality
-// changed).
+// changed), iterating u's CSR target row in ascending part order like the
+// original 0..k mask loop.
 func (e *kernel) deltaAll(u int32, d int64) {
-	if e.locked[u] || !e.movable[u] {
+	if e.locked[u] {
 		return
 	}
-	mask := e.p.MaskOf(int(u))
-	for t := 0; t < e.k; t++ {
-		if t == int(e.a[u]) || !mask.Contains(t) {
+	base := u * int32(e.k)
+	for _, t := range e.targets(u) {
+		mid := base + int32(t)
+		if e.nodes.in(mid) < 0 {
 			continue
 		}
-		mid := u*int32(e.k) + int32(t)
-		e.gain[mid] += d
-		e.key[mid] += d
-		e.buckets[e.a[u]].update(mid, e.key[mid])
+		e.gk[2*mid] += d
+		e.gk[2*mid+1] += d
+		e.lastPos[mid] = int32(len(e.touchLog))
+		e.touchLog = append(e.touchLog, mid)
 	}
+}
+
+// flushTouches repositions every move id touched during the current
+// applyMove exactly once. The incremental scheme repositions on every delta,
+// and each repositioning re-inserts at the head of the (possibly same)
+// bucket list, so the final relative order of the touched mids is the
+// chronological order of their LAST touches — later-touched mids sit closer
+// to the head. One forward pass over the log, repositioning each mid only at
+// the position its lastPos stamp names, replays exactly that order and
+// reproduces the incremental bucket state byte for byte, including for mids
+// whose net delta is zero: their head-ward shift still changes LIFO
+// tie-breaking.
+func (e *kernel) flushTouches() {
+	k := int32(e.k)
+	dups := 0
+	for i, mid := range e.touchLog {
+		if e.lastPos[mid] != int32(i) {
+			dups++
+			continue
+		}
+		e.buckets[e.a[mid/k]].update(mid, e.gk[2*mid+1])
+	}
+	e.bucketUpdatesSaved += int64(dups)
 }

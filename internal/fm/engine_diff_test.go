@@ -1,0 +1,154 @@
+package fm_test
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"repro/internal/fm"
+	"repro/internal/hypergraph"
+	"repro/internal/partition"
+)
+
+// diffProblem draws a random fixed-vertex problem: random k, net sizes,
+// weighted nets, multi-resource vertex weights, and a mix of free, fixed,
+// and OR-region (two-part mask) vertices.
+func diffProblem(rng *rand.Rand) (*partition.Problem, partition.Assignment, bool) {
+	nv := 20 + rng.IntN(41)
+	nr := 1 + rng.IntN(2)
+	k := 2 + rng.IntN(4)
+	b := hypergraph.NewBuilder(nr)
+	for v := 0; v < nv; v++ {
+		w := make([]int64, nr)
+		for r := range w {
+			w[r] = int64(1 + rng.IntN(4))
+		}
+		b.AddVertex(w...)
+	}
+	ne := nv + rng.IntN(2*nv)
+	for e := 0; e < ne; e++ {
+		sz := 2 + rng.IntN(5)
+		if sz > nv {
+			sz = nv
+		}
+		b.AddWeightedNet(int64(1+rng.IntN(3)), rng.Perm(nv)[:sz]...)
+	}
+	p := partition.NewFree(b.MustBuild(), k, 0.2+0.2*rng.Float64())
+	for v := 0; v < nv; v++ {
+		switch rng.IntN(5) {
+		case 0: // fixed terminal
+			p.Fix(v, rng.IntN(k))
+		case 1: // OR region spanning two parts
+			if k > 2 {
+				a := rng.IntN(k)
+				c := rng.IntN(k)
+				for c == a {
+					c = rng.IntN(k)
+				}
+				p.Restrict(v, partition.Single(a).With(c))
+			}
+		}
+	}
+	initial, err := partition.RandomFeasible(p, rng)
+	if err != nil {
+		return nil, nil, false
+	}
+	return p, initial, true
+}
+
+func diffConfig(rng *rand.Rand) fm.Config {
+	cfg := fm.Config{Policy: fm.LIFO}
+	if rng.IntN(2) == 1 {
+		cfg.Policy = fm.CLIP
+	}
+	if rng.IntN(2) == 1 {
+		cfg.MaxPassFraction = 0.25 + 0.5*rng.Float64()
+	}
+	if rng.IntN(3) == 0 {
+		cfg.StallCutoff = 4 + rng.IntN(12)
+	}
+	return cfg
+}
+
+// TestKernelMatchesReference differentially tests the net-state-aware kernel
+// against the frozen reference (reference.go) over random fixed-vertex
+// problems: assignments, objectives, and per-pass statistics must all be
+// identical — the rewrite is an optimization, not a behavioural change.
+func TestKernelMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewPCG(0xd1ff, 4))
+	trials := 0
+	for trials < 60 {
+		p, initial, ok := diffProblem(rng)
+		if !ok {
+			continue
+		}
+		trials++
+		cfg := diffConfig(rng)
+		name := fmt.Sprintf("trial %d (k=%d %s)", trials, p.K, cfg.Policy)
+		got, err := fm.KWayPartition(p, initial, cfg)
+		if err != nil {
+			t.Fatalf("%s: optimized: %v", name, err)
+		}
+		want, err := fm.KWayPartitionReference(p, initial, cfg)
+		if err != nil {
+			t.Fatalf("%s: reference: %v", name, err)
+		}
+		if !reflect.DeepEqual(got.Assignment, want.Assignment) {
+			t.Fatalf("%s: assignments diverge", name)
+		}
+		if got.Cut != want.Cut || got.KMinus1 != want.KMinus1 {
+			t.Fatalf("%s: cut %d/%d, want %d/%d", name, got.Cut, got.KMinus1, want.Cut, want.KMinus1)
+		}
+		if !reflect.DeepEqual(got.Passes, want.Passes) {
+			t.Fatalf("%s: pass stats diverge:\n got %+v\nwant %+v", name, got.Passes, want.Passes)
+		}
+		if got.Movable != want.Movable {
+			t.Fatalf("%s: movable %d, want %d", name, got.Movable, want.Movable)
+		}
+	}
+}
+
+// TestBipartitionMatchesReference repeats the differential test through the
+// k=2 entry points, which the multilevel drivers use.
+func TestBipartitionMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewPCG(0xd1ff, 2))
+	trials := 0
+	for trials < 40 {
+		nv := 20 + rng.IntN(41)
+		b := hypergraph.NewBuilder(1)
+		for v := 0; v < nv; v++ {
+			b.AddVertex(int64(1 + rng.IntN(4)))
+		}
+		for e := 0; e < 2*nv; e++ {
+			sz := 2 + rng.IntN(4)
+			b.AddNet(rng.Perm(nv)[:sz]...)
+		}
+		p := partition.NewBipartition(b.MustBuild(), 0.15)
+		for v := 0; v < nv; v++ {
+			if rng.IntN(4) == 0 {
+				p.Fix(v, rng.IntN(2))
+			}
+		}
+		initial, err := partition.RandomFeasible(p, rng)
+		if err != nil {
+			continue
+		}
+		trials++
+		cfg := diffConfig(rng)
+		got, err := fm.Bipartition(p, initial, cfg)
+		if err != nil {
+			t.Fatalf("trial %d: optimized: %v", trials, err)
+		}
+		want, err := fm.BipartitionReference(p, initial, cfg)
+		if err != nil {
+			t.Fatalf("trial %d: reference: %v", trials, err)
+		}
+		if !reflect.DeepEqual(got.Assignment, want.Assignment) || got.Cut != want.Cut {
+			t.Fatalf("trial %d: diverged (cut %d vs %d)", trials, got.Cut, want.Cut)
+		}
+		if !reflect.DeepEqual(got.Passes, want.Passes) {
+			t.Fatalf("trial %d: pass stats diverge", trials)
+		}
+	}
+}

@@ -109,7 +109,7 @@ func TestKernelGainsFreshEachPass(t *testing.T) {
 				want -= w
 			}
 		}
-		if got := e.gain[v*k+(1-s)]; got != want {
+		if got := e.gk[2*(v*k+(1-s))]; got != want {
 			t.Fatalf("vertex %d gain %d, want %d", v, got, want)
 		}
 	}
@@ -134,7 +134,7 @@ func TestKernelGainsFreshEachPass(t *testing.T) {
 				want -= w
 			}
 		}
-		if got := e.gain[u*k+(1-s)]; got != want {
+		if got := e.gk[2*(u*k+(1-s))]; got != want {
 			t.Fatalf("after move: vertex %d gain %d, want %d", u, got, want)
 		}
 	}
@@ -174,7 +174,7 @@ func TestKWayKernelGainConsistency(t *testing.T) {
 				if t2 == int(e.a[u]) {
 					continue
 				}
-				if got, want := e.gain[int(u)*e.k+t2], e.moveGain(u, t2); got != want {
+				if got, want := e.gk[2*(int(u)*e.k+t2)], e.moveGain(u, t2); got != want {
 					t.Fatalf("step %d: move (%d->%d) gain %d, want %d", step, u, t2, got, want)
 				}
 			}

@@ -1,0 +1,135 @@
+package fm_test
+
+import (
+	"encoding/binary"
+	"reflect"
+	"testing"
+
+	"repro/internal/fm"
+	"repro/internal/hypergraph"
+	"repro/internal/partition"
+)
+
+// FuzzFMKernel runs the net-state-aware kernel against the frozen reference
+// (reference.go) on byte-decoded fixed-vertex problems — random k, net
+// sizes and weights, fixed/OR-region masks, multi-resource vertex weights —
+// and asserts identical final assignments, objectives, and pass statistics.
+func FuzzFMKernel(f *testing.F) {
+	f.Add([]byte{3, 20, 1, 2, 3, 4, 5, 6, 7, 8}, uint8(0))
+	f.Add([]byte{2, 40, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0}, uint8(1))
+	f.Add([]byte{5, 33, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2}, uint8(3))
+	f.Fuzz(func(t *testing.T, data []byte, mode uint8) {
+		k := 2 + int(fu8(data, 0))%4
+		nv := 8 + int(fu8(data, 1))%56
+		nr := 1 + int(fu8(data, 2))%2
+		pos := 3
+
+		b := hypergraph.NewBuilder(nr)
+		for v := 0; v < nv; v++ {
+			w := make([]int64, nr)
+			for r := range w {
+				w[r] = int64(1 + fu8(data, pos)%4)
+				pos++
+			}
+			b.AddVertex(w...)
+		}
+		ne := 1 + int(fu8(data, pos))%(2*nv)
+		pos++
+		for e := 0; e < ne; e++ {
+			sz := 2 + int(fu8(data, pos))%5
+			pos++
+			pins := make([]int, 0, sz)
+			seen := make(map[int]bool, sz)
+			for i := 0; i < sz; i++ {
+				p := int(fu8(data, pos)) % nv
+				pos++
+				if !seen[p] {
+					seen[p] = true
+					pins = append(pins, p)
+				}
+			}
+			if len(pins) < 2 {
+				continue
+			}
+			b.AddWeightedNet(int64(1+fu8(data, pos)%3), pins...)
+			pos++
+		}
+		h, err := b.Build()
+		if err != nil || h.NumNets() == 0 {
+			return
+		}
+
+		p := partition.NewFree(h, k, 0.1+float64(fu8(data, pos)%4)*0.1)
+		pos++
+		for v := 0; v < nv; v++ {
+			switch fu8(data, pos) % 6 {
+			case 0: // fixed terminal
+				p.Fix(v, int(fu8(data, pos+1))%k)
+			case 1: // OR region: two allowed parts
+				a := int(fu8(data, pos+1)) % k
+				c := int(fu8(data, pos+2)) % k
+				if c != a {
+					p.Restrict(v, partition.Single(a).With(c))
+				}
+			}
+			pos += 3
+		}
+
+		// Deterministic initial assignment decoded from the data; bail if
+		// infeasible (balance or masks violated).
+		initial := partition.NewAssignment(nv)
+		for v := 0; v < nv; v++ {
+			q := int(fu8(data, pos)) % k
+			if fp, ok := p.FixedPart(v); ok {
+				q = fp
+			} else if !p.MaskOf(v).Contains(q) {
+				return
+			}
+			initial[v] = int8(q)
+			pos++
+		}
+		if p.Feasible(initial) != nil {
+			return
+		}
+
+		cfg := fm.Config{Policy: fm.LIFO}
+		if mode&1 != 0 {
+			cfg.Policy = fm.CLIP
+		}
+		if mode&2 != 0 {
+			cfg.MaxPassFraction = 0.5
+		}
+		if mode&4 != 0 {
+			cfg.StallCutoff = 6
+		}
+
+		got, err := fm.KWayPartition(p, initial, cfg)
+		if err != nil {
+			t.Fatalf("optimized: %v", err)
+		}
+		want, err := fm.KWayPartitionReference(p, initial, cfg)
+		if err != nil {
+			t.Fatalf("reference: %v", err)
+		}
+		if !reflect.DeepEqual(got.Assignment, want.Assignment) {
+			t.Fatalf("assignments diverge:\n got %v\nwant %v", got.Assignment, want.Assignment)
+		}
+		if got.Cut != want.Cut || got.KMinus1 != want.KMinus1 {
+			t.Fatalf("objective diverged: cut %d/%d, want %d/%d", got.Cut, got.KMinus1, want.Cut, want.KMinus1)
+		}
+		if !reflect.DeepEqual(got.Passes, want.Passes) {
+			t.Fatalf("pass stats diverge:\n got %+v\nwant %+v", got.Passes, want.Passes)
+		}
+	})
+}
+
+// fu8 reads byte i of data, hashing the index when data is short so small
+// inputs still produce varied problems.
+func fu8(data []byte, i int) uint8 {
+	if i < len(data) {
+		return data[i]
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(i)*0x9e3779b97f4a7c15)
+	return buf[0]
+}

@@ -20,11 +20,40 @@ type cutModel struct {
 	k int
 
 	a        partition.Assignment
-	pinCount []int32   // Φ(e, q) at index e*k+q
+	pinCount []int32 // Φ(e, q) at index e*k+q
+	// passNet packs each net's per-pass lock state into one record of
+	// nsStride = k+2 int32 slots (for k = 2: 16 bytes, one cache line shared
+	// by four nets), so the kernel's per-(move, net) lock bookkeeping — the
+	// skip checks that decide whether to scan the pin list at all, plus the
+	// locked-pin counting — reads one line instead of gathering from three
+	// parallel arrays. Φ deliberately stays in its own dense e*k+q array:
+	// the gain-seeding gather in initPass touches only Φ, and folding it
+	// into the record would quarter that scan's cache density. Net e's
+	// record starts at e*nsStride:
+	//
+	//	[0, k)  locked pins per part, this pass
+	//	k       still-unlocked movable pins, this pass
+	//	k+1     parts with >= 1 locked pin, this pass
+	passNet  []int32
+	nsStride int
 	weight   [][]int64 // [part][resource]
 	movable  []bool    // at least two allowed parts
 	locked   []bool    // moved in the current pass
 	nMovable int
+
+	// tgtOff/tgtList is a flat CSR of each vertex's allowed target parts
+	// (mask ∩ live parts, ascending), built once per run so the hot path
+	// never consults partition.Mask. Immovable vertices get an empty row.
+	tgtOff  []int32
+	tgtList []int8
+	// fixedLocked counts immovable pins per (net, part); fixedCover counts
+	// parts with at least one immovable pin per net. They seed the per-pass
+	// locked-pin counters: a fixed terminal behaves like a vertex locked
+	// before the pass's first move. movablePins counts each net's movable
+	// pins; it seeds the kernel's per-pass unlocked-pin counters.
+	fixedLocked []int32
+	fixedCover  []int32
+	movablePins []int32
 }
 
 // init sizes the model's arrays out of sc and loads the initial assignment:
@@ -39,27 +68,72 @@ func (m *cutModel) init(p *partition.Problem, initial partition.Assignment, sc *
 	nr := h.NumResources()
 	sc.prepare(nv, ne, nr, k)
 	m.p, m.h, m.k = p, h, k
-	m.a = initial.Clone()
+	// The working assignment is scratch-backed (no per-run allocation); the
+	// kernel clones it into the result on the way out.
+	m.a = sc.assign
+	copy(m.a, initial)
 	m.pinCount = sc.pinCount
+	m.passNet = sc.passNet
+	m.nsStride = k + 2
 	m.weight = sc.weight
 	m.movable = sc.movable
 	m.locked = sc.locked
 	m.nMovable = 0
-	for en := 0; en < ne; en++ {
-		for _, v := range h.Pins(en) {
-			m.pinCount[en*k+int(m.a[v])]++
-		}
-	}
 	all := partition.AllParts(k)
+	tgtList := sc.tgtList
 	for v := 0; v < nv; v++ {
 		for r := 0; r < nr; r++ {
 			m.weight[m.a[v]][r] += h.WeightIn(v, r)
 		}
-		if p.MaskOf(v).Intersect(all).Count() >= 2 {
+		sc.tgtOff[v] = int32(len(tgtList))
+		if live := p.MaskOf(v).Intersect(all); live.Count() >= 2 {
 			m.movable[v] = true
 			m.nMovable++
+			for t := 0; t < k; t++ {
+				if live.Contains(t) {
+					tgtList = append(tgtList, int8(t))
+				}
+			}
 		}
 	}
+	sc.tgtOff[nv] = int32(len(tgtList))
+	sc.tgtList = tgtList
+	m.tgtOff = sc.tgtOff
+	m.tgtList = tgtList
+	// One scan over all pins fills Φ, counts each net's movable pins (which
+	// seed the kernel's per-pass unlocked-pin counters), and seeds the
+	// locked-net counters with the immovable pins: those never move, so a
+	// part they cover holds at least one "locked" pin from the first move of
+	// every pass. Only nets large enough for the kernel to track get the
+	// per-part seeding (lockTrackMinPins).
+	for en := 0; en < ne; en++ {
+		pins := h.Pins(en)
+		base := en * k
+		track := len(pins) >= lockTrackMinPins
+		mp := int32(0)
+		for _, v := range pins {
+			q := int(m.a[v])
+			m.pinCount[base+q]++
+			if m.movable[v] {
+				mp++
+			} else if track {
+				if sc.fixedLocked[base+q] == 0 {
+					sc.fixedCover[en]++
+				}
+				sc.fixedLocked[base+q]++
+			}
+		}
+		sc.movablePins[en] = mp
+	}
+	m.fixedLocked = sc.fixedLocked
+	m.fixedCover = sc.fixedCover
+	m.movablePins = sc.movablePins
+}
+
+// targets returns v's allowed target parts (ascending, excluding nothing —
+// the caller skips the current part, or relies on bucket membership to).
+func (m *cutModel) targets(v int32) []int8 {
+	return m.tgtList[m.tgtOff[v]:m.tgtOff[v+1]]
 }
 
 // moveGain computes from scratch the (λ-1) connectivity reduction of moving
@@ -73,12 +147,20 @@ func (m *cutModel) moveGain(v int32, t int) int64 {
 	from := int(m.a[v])
 	var g int64
 	for _, en := range h.NetsOf(int(v)) {
-		w := h.NetWeight(int(en))
-		if m.pinCount[int(en)*k+from] == 1 {
-			g += w
+		// Immovable pins covering every part pin the net's contribution to
+		// zero: Φ(from) >= 2 (v plus a fixed pin) and Φ(t) >= 1, whatever the
+		// movable pins do. (fixedCover is only maintained for nets of >=
+		// lockTrackMinPins pins; for smaller nets it stays 0 and the check
+		// just never fires.)
+		if int(m.fixedCover[en]) == k {
+			continue
 		}
-		if m.pinCount[int(en)*k+t] == 0 {
-			g -= w
+		base := int(en) * k
+		if m.pinCount[base+from] == 1 {
+			g += h.NetWeight(int(en))
+		}
+		if m.pinCount[base+t] == 0 {
+			g -= h.NetWeight(int(en))
 		}
 	}
 	return g

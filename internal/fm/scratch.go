@@ -1,6 +1,10 @@
 package fm
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/partition"
+)
 
 // moveRec logs one applied move for best-prefix rollback: the vertex and the
 // part it came from.
@@ -22,17 +26,28 @@ type moveRec struct {
 // the kernel never alias scratch memory, so a Scratch may be released (or
 // pooled) as soon as the run returns.
 type Scratch struct {
-	movable   []bool
-	locked    []bool
-	gain      []int64 // per move id v*k+t
-	key       []int64
-	pinCount  []int32   // per (net, part) at e*k+q
-	weight    [][]int64 // [part][resource]
+	movable  []bool
+	locked   []bool
+	gk       []int64 // interleaved gain/bucket-key pairs at 2*mid, 2*mid+1
+	pinCount []int32 // per (net, part) at e*k+q
+	passNet  []int32 // packed per-pass net records, stride k+2 (see cutModel)
+	weight   [][]int64 // [part][resource]
 	nodes     bucketNodes
 	buckets   []gainBuckets // one per part, sharing nodes
 	order     []int32       // move ids in pass-seeding order
 	moveLog   []moveRec
 	partOrder []int32 // parts in selection-priority order
+
+	// Net-state-aware kernel state.
+	assign      partition.Assignment // working assignment (copied from initial)
+	tgtOff      []int32              // CSR offsets into tgtList, one per vertex +1
+	tgtList     []int8               // allowed target parts per movable vertex, ascending
+	fixedLocked []int32              // immovable pins per (net, part) at e*k+q
+	fixedCover  []int32              // parts with >= 1 immovable pin, per net
+	movablePins []int32              // movable pins per net (constant per run)
+	touchLog    []int32              // move ids whose gain changed during one applyMove
+	lastPos     []int32              // per move id, its latest touchLog position (only entries stamped by the current applyMove are ever read)
+	sortGain    []int64              // dense per-mid gain copy for CLIP's seeding sort
 }
 
 // NewScratch returns an empty Scratch; arrays are allocated lazily on first
@@ -67,13 +82,16 @@ func (s *Scratch) prepare(nv, ne, nr, k int) {
 	for i := range s.locked {
 		s.locked[i] = false
 	}
-	// gain/key are fully rewritten by initPass before being read; only size.
-	s.gain = growInt64(s.gain, nv*k)
-	s.key = growInt64(s.key, nv*k)
+	// gain/key pairs are fully rewritten by initPass before being read; only
+	// size.
+	s.gk = growInt64(s.gk, 2*nv*k)
 	s.pinCount = growInt32(s.pinCount, ne*k)
 	for i := range s.pinCount {
 		s.pinCount[i] = 0
 	}
+	// The packed per-pass records are overwritten from the fixed arrays at
+	// every initPass, so only size them.
+	s.passNet = growInt32(s.passNet, ne*(k+2))
 	if cap(s.weight) < k {
 		s.weight = append(s.weight[:cap(s.weight)], make([][]int64, k-cap(s.weight))...)
 	}
@@ -93,6 +111,35 @@ func (s *Scratch) prepare(nv, ne, nr, k int) {
 	}
 	s.moveLog = s.moveLog[:0]
 	s.partOrder = growInt32(s.partOrder, k)
+
+	s.assign = growInt8(s.assign, nv)
+	s.tgtOff = growInt32(s.tgtOff, nv+1)
+	if cap(s.tgtList) < nv {
+		s.tgtList = make([]int8, 0, nv*2)
+	}
+	s.tgtList = s.tgtList[:0]
+	// fixedLocked is rebuilt by cutModel.init; the records' per-pass slots
+	// are overwritten from the fixed arrays at every initPass.
+	s.fixedLocked = growInt32(s.fixedLocked, ne*k)
+	for i := range s.fixedLocked {
+		s.fixedLocked[i] = 0
+	}
+	s.fixedCover = growInt32(s.fixedCover, ne)
+	for i := range s.fixedCover {
+		s.fixedCover[i] = 0
+	}
+	// movablePins is rebuilt by cutModel.init.
+	s.movablePins = growInt32(s.movablePins, ne)
+	if cap(s.touchLog) < 64 {
+		s.touchLog = make([]int32, 0, 256)
+	}
+	s.touchLog = s.touchLog[:0]
+	// lastPos never needs clearing: flushTouches only reads entries the
+	// current applyMove just stamped, so stale positions are never consulted.
+	// sortGain is fully rewritten by each CLIP initPass before the sort reads
+	// it. Neither needs clearing, only sizing.
+	s.lastPos = growInt32(s.lastPos, nv*k)
+	s.sortGain = growInt64(s.sortGain, nv*k)
 }
 
 // sizeBuckets (re)sizes the k per-part gain-bucket structures for numMoves
@@ -115,6 +162,13 @@ func (s *Scratch) sizeBuckets(numMoves int, maxKey int32, k int) {
 func growBool(s []bool, n int) []bool {
 	if cap(s) < n {
 		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+func growInt8[S ~[]int8](s S, n int) S {
+	if cap(s) < n {
+		return make(S, n)
 	}
 	return s[:n]
 }

@@ -33,7 +33,7 @@ func kwayMaxCluster(p *partition.Problem) int64 {
 // lack, so this recovers recursive-bisection-strength refinement inside the
 // direct driver. Sweeps repeat (pairs in lexicographic order, so the result
 // is deterministic) until a sweep fails to improve or maxSweeps is reached.
-func pairwiseRefine(p *partition.Problem, a partition.Assignment, cfg fm.Config, maxSweeps int) (partition.Assignment, error) {
+func pairwiseRefine(p *partition.Problem, a partition.Assignment, cfg fm.Config, maxSweeps int, sc *fm.Scratch) (partition.Assignment, error) {
 	nv := p.H.NumVertices()
 	prev := partition.KMinus1(p.H, a)
 	for sweep := 0; sweep < maxSweeps; sweep++ {
@@ -72,7 +72,7 @@ func pairwiseRefine(p *partition.Problem, a partition.Assignment, cfg fm.Config,
 				// Fresh Problem per pair: the movable-count cache must not
 				// leak across mask changes.
 				restricted := &partition.Problem{H: p.H, K: p.K, Balance: p.Balance, Allowed: allowed}
-				res, err := fm.KWayPartition(restricted, a, cfg)
+				res, err := fm.KWayPartitionWith(restricted, a, cfg, sc)
 				if err != nil {
 					return nil, fmt.Errorf("multilevel: pairwise refine (%d,%d): %w", x, y, err)
 				}
@@ -103,6 +103,15 @@ func pairwiseRefine(p *partition.Problem, a partition.Assignment, cfg fm.Config,
 // finer levels when heavy clusters leave no feasible start at the coarsest
 // one. Works for any 2 <= k <= partition.MaxParts, power of two or not.
 func PartitionKWay(p *partition.Problem, cfg Config, rng *rand.Rand) (*Result, error) {
+	sc := fm.GetScratch()
+	defer fm.PutScratch(sc)
+	return partitionKWayWith(p, cfg, rng, sc)
+}
+
+// partitionKWayWith is PartitionKWay running every FM call (initial tries,
+// k-way refinements, pairwise sweeps) on a caller-provided scratch, so the
+// multistart drivers can pin one scratch per worker.
+func partitionKWayWith(p *partition.Problem, cfg Config, rng *rand.Rand, sc *fm.Scratch) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -126,8 +135,8 @@ func PartitionKWay(p *partition.Problem, cfg Config, rng *rand.Rand) (*Result, e
 		curr = coarse
 	}
 
-	fmCfg := fm.Config{Policy: cfg.Policy, MaxPassFraction: cfg.MaxPassFraction, MaxPasses: cfg.RefineMaxPasses}
-	initCfg := fm.Config{Policy: cfg.Policy, MaxPassFraction: cfg.MaxPassFraction}
+	fmCfg := fm.Config{Policy: cfg.Policy, MaxPassFraction: cfg.MaxPassFraction, MaxPasses: cfg.RefineMaxPasses, Stats: kernelStats(cfg.Stats)}
+	initCfg := fm.Config{Policy: cfg.Policy, MaxPassFraction: cfg.MaxPassFraction, Stats: kernelStats(cfg.Stats)}
 
 	// Initial partitioning at the deepest level that admits a feasible start.
 	start := len(levels) - 1
@@ -140,7 +149,7 @@ func PartitionKWay(p *partition.Problem, cfg Config, rng *rand.Rand) (*Result, e
 			if !ok {
 				continue
 			}
-			res, err := fm.KWayPartition(lp, seed, initCfg)
+			res, err := fm.KWayPartitionWith(lp, seed, initCfg, sc)
 			if err != nil {
 				continue
 			}
@@ -159,7 +168,7 @@ func PartitionKWay(p *partition.Problem, cfg Config, rng *rand.Rand) (*Result, e
 
 	if p.K > 2 {
 		var err error
-		a, err = pairwiseRefine(levels[start].problem, a, initCfg, 2)
+		a, err = pairwiseRefine(levels[start].problem, a, initCfg, 2, sc)
 		if err != nil {
 			return nil, err
 		}
@@ -170,13 +179,13 @@ func PartitionKWay(p *partition.Problem, cfg Config, rng *rand.Rand) (*Result, e
 	// hill-climbing power recursive bisection gets for free).
 	for lvl := start - 1; lvl >= 0; lvl-- {
 		a = project(a, levels[lvl].clusterOf)
-		res, err := fm.KWayPartition(levels[lvl].problem, a, fmCfg)
+		res, err := fm.KWayPartitionWith(levels[lvl].problem, a, fmCfg, sc)
 		if err != nil {
 			return nil, fmt.Errorf("multilevel: refining level %d: %w", lvl, err)
 		}
 		a = res.Assignment
 		if p.K > 2 {
-			a, err = pairwiseRefine(levels[lvl].problem, a, fmCfg, 2)
+			a, err = pairwiseRefine(levels[lvl].problem, a, fmCfg, 2, sc)
 			if err != nil {
 				return nil, err
 			}
@@ -213,9 +222,11 @@ func MultistartKWay(p *partition.Problem, cfg Config, starts int, rng *rand.Rand
 		starts = 1
 	}
 	baseSeed := rng.Uint64()
+	sc := fm.GetScratch()
+	defer fm.PutScratch(sc)
 	var best *Result
 	for i := 0; i < starts; i++ {
-		res, err := PartitionKWay(p, cfg, startRNG(baseSeed, i))
+		res, err := partitionKWayWith(p, cfg, startRNG(baseSeed, i), sc)
 		if err != nil {
 			return nil, err
 		}

@@ -104,14 +104,22 @@ func buildLevels(p *partition.Problem, cfg Config, maxCluster int64, rng *rand.R
 // initial tries nor the per-level refinements pay the kernel's allocation
 // cost.
 func (h *Hierarchy) descend(rng *rand.Rand, follower bool) (*Result, error) {
+	sc := fm.GetScratch()
+	defer fm.PutScratch(sc)
+	return h.descendWith(rng, follower, sc)
+}
+
+// descendWith is descend running on a caller-provided FM scratch, for
+// multistart drivers that pin one scratch per worker across many descents.
+// Scratch contents never influence results, so pinning preserves the
+// determinism contract.
+func (h *Hierarchy) descendWith(rng *rand.Rand, follower bool, sc *fm.Scratch) (*Result, error) {
 	cfg := h.cfg
-	fmCfg := fm.Config{Policy: cfg.Policy, MaxPassFraction: cfg.MaxPassFraction, MaxPasses: cfg.RefineMaxPasses}
+	fmCfg := fm.Config{Policy: cfg.Policy, MaxPassFraction: cfg.MaxPassFraction, MaxPasses: cfg.RefineMaxPasses, Stats: kernelStats(cfg.Stats)}
 	if follower {
 		fmCfg.MaxPassFraction = followerPassFraction(cfg)
 	}
-	initCfg := fm.Config{Policy: cfg.Policy, MaxPassFraction: cfg.MaxPassFraction}
-	sc := fm.GetScratch()
-	defer fm.PutScratch(sc)
+	initCfg := fm.Config{Policy: cfg.Policy, MaxPassFraction: cfg.MaxPassFraction, Stats: kernelStats(cfg.Stats)}
 
 	// Initial partitioning at the deepest level that admits a feasible
 	// start; heavy clusters can make the very coarsest level infeasible, in
@@ -189,10 +197,23 @@ type PhaseStats struct {
 	CoarsenAllocs int64 `json:"coarsen_allocs"`
 	InitAllocs    int64 `json:"init_allocs"`
 	RefineAllocs  int64 `json:"refine_allocs"`
+	// Kernel accumulates the FM kernel's net-state-aware work counters (nets
+	// skipped, pin scans avoided, bucket updates saved) across every FM run a
+	// descent performs; like the phase counters it is updated atomically.
+	Kernel fm.KernelStats `json:"refine_kernel"`
 }
 
 // TotalNS returns the summed wall time across phases.
 func (st *PhaseStats) TotalNS() int64 { return st.CoarsenNS + st.InitNS + st.RefineNS }
+
+// kernelStats returns the kernel-counter sink of st, or nil when stats are
+// not being collected.
+func kernelStats(st *PhaseStats) *fm.KernelStats {
+	if st == nil {
+		return nil
+	}
+	return &st.Kernel
+}
 
 const (
 	phaseCoarsen = iota

@@ -120,6 +120,14 @@ type Result struct {
 // problem p: one coarsening descent (BuildHierarchy) followed by one
 // full-refinement descent over it.
 func Partition(p *partition.Problem, cfg Config, rng *rand.Rand) (*Result, error) {
+	sc := fm.GetScratch()
+	defer fm.PutScratch(sc)
+	return partitionWith(p, cfg, rng, sc)
+}
+
+// partitionWith is Partition running every FM call on a caller-provided
+// scratch; the multistart drivers pin one scratch per worker across starts.
+func partitionWith(p *partition.Problem, cfg Config, rng *rand.Rand, sc *fm.Scratch) (*Result, error) {
 	if p.K != 2 {
 		return nil, fmt.Errorf("multilevel: Partition requires k=2, got k=%d (use RecursiveBisect)", p.K)
 	}
@@ -131,7 +139,7 @@ func Partition(p *partition.Problem, cfg Config, rng *rand.Rand) (*Result, error
 	}
 	cfg = cfg.effective()
 	h := buildLevels(p, cfg, bipartitionMaxCluster(p), rng)
-	return h.descend(rng, false)
+	return h.descendWith(rng, false, sc)
 }
 
 // Multistart runs n independent starts and returns the best result, with
@@ -147,9 +155,11 @@ func Multistart(p *partition.Problem, cfg Config, starts int, rng *rand.Rand) (*
 		starts = 1
 	}
 	baseSeed := rng.Uint64()
+	sc := fm.GetScratch()
+	defer fm.PutScratch(sc)
 	var best *Result
 	for i := 0; i < starts; i++ {
-		res, err := Partition(p, cfg, startRNG(baseSeed, i))
+		res, err := partitionWith(p, cfg, startRNG(baseSeed, i), sc)
 		if err != nil {
 			return nil, err
 		}
@@ -179,11 +189,13 @@ func AdaptiveMultistart(p *partition.Problem, cfg Config, maxStarts, patience in
 		patience = 2
 	}
 	baseSeed := rng.Uint64()
+	sc := fm.GetScratch()
+	defer fm.PutScratch(sc)
 	var best *Result
 	stale := 0
 	used := 0
 	for used < maxStarts {
-		res, err := Partition(p, cfg, startRNG(baseSeed, used))
+		res, err := partitionWith(p, cfg, startRNG(baseSeed, used), sc)
 		if err != nil {
 			return nil, err
 		}

@@ -3,6 +3,7 @@ package multilevel
 import (
 	"math/rand/v2"
 
+	"repro/internal/fm"
 	"repro/internal/par"
 	"repro/internal/partition"
 )
@@ -35,17 +36,31 @@ func startRNG(baseSeed uint64, i int) *rand.Rand {
 	return rand.New(rand.NewPCG(baseSeed, uint64(i)))
 }
 
-// partitionFunc is one single-start partitioner (Partition or PartitionKWay);
-// the parallel drivers are generic over it.
-type partitionFunc func(p *partition.Problem, cfg Config, rng *rand.Rand) (*Result, error)
+// partitionFunc is one single-start partitioner (partitionWith or
+// partitionKWayWith) running on a caller-provided FM scratch; the parallel
+// drivers are generic over it.
+type partitionFunc func(p *partition.Problem, cfg Config, rng *rand.Rand, sc *fm.Scratch) (*Result, error)
 
 // runStarts computes starts [lo, hi) of `part` on up to `workers` goroutines,
-// writing each start's outcome at its index in results/errs.
+// writing each start's outcome at its index in results/errs. One FM scratch
+// is pinned per worker for the whole batch — on small instances the per-start
+// pool round-trip was the dominant parallel overhead (contended sync.Pool
+// gets plus re-warming evicted scratches made 8 workers slower than serial).
+// Scratch contents never influence results, so pinning keeps the determinism
+// contract intact.
 func runStarts(part partitionFunc, p *partition.Problem, cfg Config, baseSeed uint64, lo, hi, workers int, results []*Result, errs []error) {
-	par.ForEach(hi-lo, workers, func(i int) {
+	n := hi - lo
+	scratches := make([]*fm.Scratch, par.EffectiveWorkers(n, workers))
+	for w := range scratches {
+		scratches[w] = fm.GetScratch()
+	}
+	par.ForEachWorker(n, workers, func(worker, i int) {
 		idx := lo + i
-		results[idx], errs[idx] = part(p, cfg, startRNG(baseSeed, idx))
+		results[idx], errs[idx] = part(p, cfg, startRNG(baseSeed, idx), scratches[worker])
 	})
+	for _, sc := range scratches {
+		fm.PutScratch(sc)
+	}
 }
 
 // ParallelMultistart is Multistart running its independent starts on a
@@ -53,14 +68,14 @@ func runStarts(part partitionFunc, p *partition.Problem, cfg Config, baseSeed ui
 // It returns a Result bit-identical to the serial Multistart for the same
 // incoming rng state, for any worker count.
 func ParallelMultistart(p *partition.Problem, cfg Config, starts int, rng *rand.Rand) (*Result, error) {
-	return parallelMultistart(Partition, p, cfg, starts, rng)
+	return parallelMultistart(partitionWith, p, cfg, starts, rng)
 }
 
 // ParallelMultistartKWay is MultistartKWay on a bounded worker pool. It obeys
 // the same determinism contract: for the same incoming rng state it returns a
 // Result bit-identical to the serial MultistartKWay, for any worker count.
 func ParallelMultistartKWay(p *partition.Problem, cfg Config, starts int, rng *rand.Rand) (*Result, error) {
-	return parallelMultistart(PartitionKWay, p, cfg, starts, rng)
+	return parallelMultistart(partitionKWayWith, p, cfg, starts, rng)
 }
 
 func parallelMultistart(part partitionFunc, p *partition.Problem, cfg Config, starts int, rng *rand.Rand) (*Result, error) {
@@ -114,7 +129,7 @@ func ParallelAdaptiveMultistart(p *partition.Problem, cfg Config, maxStarts, pat
 			if batch > maxStarts-computed {
 				batch = maxStarts - computed
 			}
-			runStarts(Partition, p, cfg, baseSeed, computed, computed+batch, workers, results, errs)
+			runStarts(partitionWith, p, cfg, baseSeed, computed, computed+batch, workers, results, errs)
 			computed += batch
 		}
 		// Replay the serial stopping semantics: start `used` counts toward

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 
+	"repro/internal/fm"
 	"repro/internal/par"
 	"repro/internal/partition"
 )
@@ -69,22 +70,34 @@ func sharedMultistart(p *partition.Problem, cfg Config, starts, hierarchies, wor
 	results := make([]*Result, starts)
 	errs := make([]error, starts)
 
+	// One FM scratch pinned per worker for both phases (scratch contents
+	// never influence results, so this preserves the determinism contract).
+	scratches := make([]*fm.Scratch, par.EffectiveWorkers(max(h, starts-h), workers))
+	for w := range scratches {
+		scratches[w] = fm.GetScratch()
+	}
+	defer func() {
+		for _, sc := range scratches {
+			fm.PutScratch(sc)
+		}
+	}()
+
 	// Phase 1: owner starts. Start j builds hierarchy j and descends on the
 	// same RNG — the exact Partition sequence.
-	par.ForEach(h, workers, func(j int) {
+	par.ForEachWorker(h, workers, func(worker, j int) {
 		r := startRNG(baseSeed, j)
 		hiers[j] = buildLevels(p, eff, maxCluster, r)
-		results[j], errs[j] = hiers[j].descend(r, false)
+		results[j], errs[j] = hiers[j].descendWith(r, false, scratches[worker])
 	})
 	// Phase 2: follower starts fan out over the built hierarchies.
-	par.ForEach(starts-h, workers, func(i int) {
+	par.ForEachWorker(starts-h, workers, func(worker, i int) {
 		idx := h + i
 		hier := hiers[idx%h]
 		if hier == nil {
 			errs[idx] = fmt.Errorf("multilevel: hierarchy %d unavailable", idx%h)
 			return
 		}
-		results[idx], errs[idx] = hier.descend(startRNG(baseSeed, idx), true)
+		results[idx], errs[idx] = hier.descendWith(startRNG(baseSeed, idx), true, scratches[worker])
 	})
 
 	var best *Result

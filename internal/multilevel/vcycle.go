@@ -58,18 +58,20 @@ func VCycle(p *partition.Problem, a partition.Assignment, cfg Config, rng *rand.
 		levels = append(levels, vlevel{problem: coarse, sol: coarseSol})
 	}
 
-	fmCfg := fm.Config{Policy: cfg.Policy, MaxPassFraction: cfg.MaxPassFraction, MaxPasses: cfg.RefineMaxPasses}
+	fmCfg := fm.Config{Policy: cfg.Policy, MaxPassFraction: cfg.MaxPassFraction, MaxPasses: cfg.RefineMaxPasses, Stats: kernelStats(cfg.Stats)}
+	sc := fm.GetScratch()
+	defer fm.PutScratch(sc)
 	sol := levels[len(levels)-1].sol
 	for lvl := len(levels) - 1; lvl >= 0; lvl-- {
 		var refined partition.Assignment
 		if p.K == 2 {
-			res, err := fm.Bipartition(levels[lvl].problem, sol, fmCfg)
+			res, err := fm.BipartitionWith(levels[lvl].problem, sol, fmCfg, sc)
 			if err != nil {
 				return nil, fmt.Errorf("multilevel: V-cycle refining level %d: %w", lvl, err)
 			}
 			refined = res.Assignment
 		} else {
-			res, err := fm.KWayPartition(levels[lvl].problem, sol, fmCfg)
+			res, err := fm.KWayPartitionWith(levels[lvl].problem, sol, fmCfg, sc)
 			if err != nil {
 				return nil, fmt.Errorf("multilevel: V-cycle refining level %d: %w", lvl, err)
 			}

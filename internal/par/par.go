@@ -27,13 +27,20 @@ func Workers(n int) int {
 // be safe for concurrent invocation. With workers == 1 — or n == 1 — fn runs
 // on the calling goroutine in index order, with no goroutines spawned.
 func ForEach(n, workers int, fn func(i int)) {
-	workers = Workers(workers)
-	if workers > n {
-		workers = n
-	}
+	ForEachWorker(n, workers, func(_, i int) { fn(i) })
+}
+
+// ForEachWorker is ForEach exposing which pool slot runs each index:
+// fn(worker, i) with worker in [0, EffectiveWorkers(n, workers)). Callers use
+// the worker index to pin per-worker state (e.g. one FM scratch per worker
+// for the whole run instead of a pool round-trip per index). The contract is
+// unchanged: the worker index must only select *storage*, never influence the
+// meaning or result of index i, or bit-identical-across-worker-counts breaks.
+func ForEachWorker(n, workers int, fn func(worker, i int)) {
+	workers = EffectiveWorkers(n, workers)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -41,16 +48,30 @@ func ForEach(n, workers int, fn func(i int)) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range idx {
-				fn(i)
+				fn(w, i)
 			}
-		}()
+		}(w)
 	}
 	for i := 0; i < n; i++ {
 		idx <- i
 	}
 	close(idx)
 	wg.Wait()
+}
+
+// EffectiveWorkers returns the number of pool slots ForEach/ForEachWorker
+// actually use for n items and a configured worker count: Workers(workers)
+// clamped to n, and at least 1 when there is work.
+func EffectiveWorkers(n, workers int) int {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 && n > 0 {
+		workers = 1
+	}
+	return workers
 }
