@@ -1,0 +1,163 @@
+// Server benchmark: measures hpartd's request path end to end (in-process,
+// httptest — no sockets) and records the committed BENCH_server.json
+// baseline. The headline metric is the hierarchy cache's leverage: a warm
+// request (cache hit) skips netlist generation AND coarsening and must be at
+// least 1.5x faster than a cold request on the same body — the acceptance
+// bar that justifies running a partitioning daemon instead of a fresh solver
+// process per call.
+package repro
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// serverBenchBody is the benchmark workload: a paper-regime instance (30%
+// fixed terminals, Table III pass cutoff, capped refinement passes) posed in
+// the service's latency-oriented configuration — the target use case of many
+// quick related subproblems on one netlist, where instance setup is the cost
+// the cache exists to remove.
+func serverBenchBody() string {
+	return fmt.Sprintf(
+		`{"preset":{"name":"IBM01S","scale":%g},"starts":2,"fix_fraction":0.3,"cutoff":0.1,"refine_passes":2}`,
+		benchScale())
+}
+
+func serverPost(b *testing.B, h http.Handler, body string) time.Duration {
+	b.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/partition", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	t0 := time.Now()
+	h.ServeHTTP(rec, req)
+	dt := time.Since(t0)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	return dt
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// BenchmarkServer measures the partition endpoint cold (fresh server per
+// request: generation + coarsening + refinement) and warm (primed hierarchy
+// cache: refinement only). The first run writes BENCH_server.json with
+// throughput and latency percentiles for both paths and enforces the
+// warm >= 1.5x speedup acceptance bar.
+func BenchmarkServer(b *testing.B) {
+	body := serverBenchBody()
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := server.New(server.Config{})
+			serverPost(b, s.Handler(), body)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		s := server.New(server.Config{})
+		serverPost(b, s.Handler(), body) // prime the cache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			serverPost(b, s.Handler(), body)
+		}
+	})
+	serverBaselineOnce.Do(func() {
+		const coldTrials, warmTrials = 8, 24
+		base := serverBaseline{
+			Instance:   "IBM01S",
+			Scale:      benchScale(),
+			Starts:     2,
+			FixedFrac:  0.3,
+			Cutoff:     0.1,
+			RefinePass: 2,
+			ColdTrials: coldTrials,
+			WarmTrials: warmTrials,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		}
+		cold := make([]time.Duration, 0, coldTrials)
+		for i := 0; i < coldTrials; i++ {
+			s := server.New(server.Config{})
+			cold = append(cold, serverPost(b, s.Handler(), body))
+		}
+		warmSrv := server.New(server.Config{})
+		serverPost(b, warmSrv.Handler(), body) // prime
+		warm := make([]time.Duration, 0, warmTrials)
+		for i := 0; i < warmTrials; i++ {
+			warm = append(warm, serverPost(b, warmSrv.Handler(), body))
+		}
+		sort.Slice(cold, func(i, j int) bool { return cold[i] < cold[j] })
+		sort.Slice(warm, func(i, j int) bool { return warm[i] < warm[j] })
+		fill := func(side *serverSide, samples []time.Duration) {
+			var sum time.Duration
+			for _, d := range samples {
+				sum += d
+			}
+			side.MeanNS = sum.Nanoseconds() / int64(len(samples))
+			side.P50NS = percentile(samples, 0.50).Nanoseconds()
+			side.P99NS = percentile(samples, 0.99).Nanoseconds()
+			side.RequestsPerSec = 1e9 / float64(side.MeanNS)
+		}
+		fill(&base.Cold, cold)
+		fill(&base.Warm, warm)
+		base.WarmSpeedup = float64(base.Cold.MeanNS) / float64(base.Warm.MeanNS)
+		b.ReportMetric(base.WarmSpeedup, "warm-speedup")
+		b.ReportMetric(base.Warm.RequestsPerSec, "warm-req/s")
+		if base.WarmSpeedup < 1.5 {
+			b.Errorf("warm speedup %.2fx below the 1.5x acceptance bar (cold mean %.1fms vs warm mean %.1fms)",
+				base.WarmSpeedup, float64(base.Cold.MeanNS)/1e6, float64(base.Warm.MeanNS)/1e6)
+		}
+		buf, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_server.json", append(buf, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+		fmt.Printf("wrote BENCH_server.json (cold mean %.1fms, warm mean %.1fms, %.2fx warm speedup)\n",
+			float64(base.Cold.MeanNS)/1e6, float64(base.Warm.MeanNS)/1e6, base.WarmSpeedup)
+	})
+}
+
+var serverBaselineOnce sync.Once
+
+// serverBaseline is the schema of BENCH_server.json. WarmSpeedup is the
+// enforced >= 1.5x acceptance metric: mean cold latency (fresh process state:
+// generation + coarsening + refinement) over mean warm latency (hierarchy
+// cache hit: refinement only) for the identical request body.
+type serverBaseline struct {
+	Instance   string     `json:"instance"`
+	Scale      float64    `json:"scale"`
+	Starts     int        `json:"starts"`
+	FixedFrac  float64    `json:"fixed_fraction"`
+	Cutoff     float64    `json:"cutoff"`
+	RefinePass int        `json:"refine_passes"`
+	ColdTrials int        `json:"cold_trials"`
+	WarmTrials int        `json:"warm_trials"`
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	Cold       serverSide `json:"cold"`
+	Warm       serverSide `json:"warm"`
+	// WarmSpeedup = cold mean / warm mean; must stay >= 1.5.
+	WarmSpeedup float64 `json:"warm_speedup"`
+}
+
+type serverSide struct {
+	MeanNS         int64   `json:"mean_ns"`
+	P50NS          int64   `json:"p50_ns"`
+	P99NS          int64   `json:"p99_ns"`
+	RequestsPerSec float64 `json:"requests_per_sec"`
+}

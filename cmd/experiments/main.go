@@ -3,9 +3,16 @@
 //
 // Usage:
 //
-//	experiments -exp table1|fig1|fig2|table2|table3|table4|multiway|all
+//	experiments -exp table1|fig1|fig2|table2|table3|table4|multiway|
+//	                 constraint|profile|starts|all
 //	            [-scale 0.25] [-trials 10] [-seed 1] [-workers 0] [-stats]
+//	            [-csv sweep.csv]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// The experiment ids beyond the paper's tables and figures are the extension
+// studies: constraint (constraint-strength sweep), profile (within-pass gain
+// profiles), starts (multistart-effort curve). -csv additionally writes the
+// fig1/fig2 sweep data as CSV for external plotting.
 //
 // Independent experiment cells run on -workers goroutines (0 = GOMAXPROCS);
 // results are identical for every worker count.

@@ -1,0 +1,19 @@
+// Package experiments implements the paper's experimental protocol: nested
+// random fixing of vertex subsets in the "good" and "rand" regimes, the
+// multistart sweeps behind Figures 1 and 2, the flat-FM pass-statistics
+// study of Table II, the pass-cutoff study of Table III, the
+// benchmark-parameter reporting of Tables I and IV, and the extension
+// studies (constraint strength, within-pass gain profiles, multistart
+// effort) exposed by cmd/experiments.
+//
+// # Concurrency and determinism
+//
+// Sweeps fan their independent cells (one per fixed-fraction × trial ×
+// start-count point) onto a bounded worker pool via internal/par. Each cell
+// derives its RNG from the experiment seed and its own indices, never from
+// shared state, and writes into a slot addressed by those indices, so every
+// table and figure is bit-identical for every worker count. The nested
+// fixing schedule is monotone by construction: the vertices fixed at
+// fraction f are a subset of those fixed at any f' > f within one trial,
+// matching the paper's protocol.
+package experiments

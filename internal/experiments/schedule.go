@@ -1,8 +1,3 @@
-// Package experiments implements the paper's experimental protocol: nested
-// random fixing of vertex subsets in the "good" and "rand" regimes, the
-// multistart sweeps behind Figures 1 and 2, the flat-FM pass-statistics
-// study of Table II, the pass-cutoff study of Table III, and the
-// benchmark-parameter reporting of Tables I and IV.
 package experiments
 
 import (

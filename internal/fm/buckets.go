@@ -1,9 +1,3 @@
-// Package fm implements Fiduccia–Mattheyses refinement with fixed vertices
-// for any number of parts: a part-count-generic move kernel (LIFO and CLIP
-// vertex-selection policies, per-part gain buckets, hard pass-length cutoffs
-// — the paper's Section III heuristic — and per-pass statistics, Table II).
-// Bipartition is the k = 2 instantiation of the kernel; KWayPartition drives
-// the same kernel for any k up to partition.MaxParts.
 package fm
 
 // bucketNodes is the intrusive doubly-linked-list node store behind one or

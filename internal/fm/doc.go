@@ -1,0 +1,32 @@
+// Package fm implements Fiduccia–Mattheyses refinement with fixed vertices
+// for any number of parts: a part-count-generic move kernel (LIFO and CLIP
+// vertex-selection policies, per-part gain buckets, hard pass-length cutoffs
+// — the paper's Section III heuristic — and per-pass statistics, Table II).
+// Bipartition is the k = 2 instantiation of the kernel; KWayPartition drives
+// the same kernel for any k up to partition.MaxParts.
+//
+// Gain updates are net-state aware: locked nets are short-circuited, 2- and
+// 3-pin nets take closed-form fast paths, and bucket repositionings are
+// batched per move. The work eliminated this way is counted in KernelStats;
+// reference.go keeps a frozen pre-rewrite kernel so the counters (and the
+// results, which are bit-identical) can be compared under equal accounting.
+//
+// # Concurrency
+//
+// A kernel instance (Bipartition, KWayPartition, a Scratch, and the gain
+// buckets inside them) is single-goroutine: it may not be shared or called
+// concurrently. Parallel callers run one kernel (and one Scratch) per
+// worker on disjoint problems — the pattern the multilevel multistart
+// drivers use. The only shared-safe type is KernelStats: its counters are
+// atomics, so any number of kernels may fold their per-run deltas into one
+// aggregate concurrently.
+//
+// # Determinism
+//
+// Every randomized choice (initial solutions, tie-breaking among equal-gain
+// moves) draws from the *rand.Rand passed in by the caller, and nothing
+// else: for a given problem, configuration and RNG state the refinement
+// trajectory — every move, every pass, the final assignment and cut — is
+// bit-identical across runs, platforms and worker counts. Scratch reuse
+// does not affect results; a reused Scratch is fully re-initialized.
+package fm

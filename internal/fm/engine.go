@@ -269,7 +269,7 @@ func (e *kernel) run() *kernelResult {
 			break
 		}
 	}
-	e.sc.moveLog = moveLog // keep any growth for the next run
+	e.sc.moveLog = moveLog         // keep any growth for the next run
 	e.sc.touchLog = e.touchLog[:0] // keep any growth for the next run
 	if e.cfg.Stats != nil {
 		e.cfg.Stats.add(e.netsSkipped, e.pinScansAvoided, e.pinsScanned, e.bucketUpdatesSaved)

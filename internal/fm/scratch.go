@@ -26,12 +26,12 @@ type moveRec struct {
 // the kernel never alias scratch memory, so a Scratch may be released (or
 // pooled) as soon as the run returns.
 type Scratch struct {
-	movable  []bool
-	locked   []bool
-	gk       []int64 // interleaved gain/bucket-key pairs at 2*mid, 2*mid+1
-	pinCount []int32 // per (net, part) at e*k+q
-	passNet  []int32 // packed per-pass net records, stride k+2 (see cutModel)
-	weight   [][]int64 // [part][resource]
+	movable   []bool
+	locked    []bool
+	gk        []int64   // interleaved gain/bucket-key pairs at 2*mid, 2*mid+1
+	pinCount  []int32   // per (net, part) at e*k+q
+	passNet   []int32   // packed per-pass net records, stride k+2 (see cutModel)
+	weight    [][]int64 // [part][resource]
 	nodes     bucketNodes
 	buckets   []gainBuckets // one per part, sharing nodes
 	order     []int32       // move ids in pass-seeding order

@@ -1,0 +1,77 @@
+package hypergraph
+
+// Fingerprint is a streaming FNV-1a (64-bit) hasher over machine words. It
+// gives the repository one stable notion of instance identity: two
+// hypergraphs (or problems composed on top of them) with equal fingerprints
+// have identical structure and weights, byte for byte, across processes and
+// runs of the same build — the property the hpartd hierarchy cache keys on.
+//
+// The zero Fingerprint is NOT a valid initial state; start from
+// NewFingerprint. Fingerprint is a value type: Word returns the updated
+// state, so chains compose without allocation and a partially folded state
+// can be reused as a prefix.
+type Fingerprint uint64
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// NewFingerprint returns the FNV-1a initial state.
+func NewFingerprint() Fingerprint { return Fingerprint(fnvOffset64) }
+
+// Word folds one 64-bit word into the state, least-significant byte first.
+func (f Fingerprint) Word(x uint64) Fingerprint {
+	h := uint64(f)
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= fnvPrime64
+		x >>= 8
+	}
+	return Fingerprint(h)
+}
+
+// Words folds a sequence of int64 values.
+func (f Fingerprint) Words(xs []int64) Fingerprint {
+	for _, x := range xs {
+		f = f.Word(uint64(x))
+	}
+	return f
+}
+
+// words32 folds a sequence of int32 values (CSR offsets and pin lists).
+func (f Fingerprint) words32(xs []int32) Fingerprint {
+	for _, x := range xs {
+		f = f.Word(uint64(uint32(x)))
+	}
+	return f
+}
+
+// Sum returns the current 64-bit digest.
+func (f Fingerprint) Sum() uint64 { return uint64(f) }
+
+// Fingerprint returns a stable structural hash of the hypergraph: dimensions,
+// the net->pin CSR, every weight resource, net weights and pad flags. Vertex
+// and net names are deliberately excluded — they never influence
+// partitioning, so renamed copies of the same netlist hash identically. The
+// hash is a pure function of the built structure (no addresses, no map
+// order), so it is stable across processes; that is what makes it usable as
+// a cache key for derived artifacts such as coarsening hierarchies.
+func (h *Hypergraph) Fingerprint() uint64 {
+	f := NewFingerprint().
+		Word(uint64(h.numVerts)).
+		Word(uint64(h.numNets)).
+		Word(uint64(len(h.weights))).
+		words32(h.netOffsets).
+		words32(h.netPins)
+	for _, res := range h.weights {
+		f = f.Words(res)
+	}
+	f = f.Words(h.netWeights)
+	for v := 0; v < h.numVerts; v++ {
+		if h.IsPad(v) {
+			f = f.Word(uint64(v))
+		}
+	}
+	return f.Sum()
+}

@@ -1,0 +1,199 @@
+package multilevel
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/fm"
+	"repro/internal/hypergraph"
+	"repro/internal/par"
+	"repro/internal/partition"
+)
+
+// This file is the cancellation seam the hpartd service runs on: multistart
+// drivers that accept a context and, when cancelled mid-run, return the best
+// result computed so far instead of throwing the work away.
+//
+// The contract extends the determinism contract of parallel.go:
+//
+//   - Start i's outcome is still a pure function of (problem, config,
+//     baseSeed, i); cancellation never changes what any start computes.
+//   - Starts are dispatched in index order (par.ForEachWorkerCtx), so the
+//     completed work is always the prefix [0, completed) of the start
+//     sequence, and the reduction is "best of a prefix" — each possible
+//     answer is one the serial driver would have returned for some smaller
+//     starts count.
+//   - How long that prefix is under cancellation depends on timing and
+//     worker count, so a cancelled run is NOT bit-reproducible; Result.
+//     Truncated marks this. An uncancelled run is bit-identical to the
+//     corresponding non-context driver.
+//
+// A run cancelled before any start completes returns ctx.Err() and no
+// result.
+
+// ParallelMultistartCtx is ParallelMultistart with cooperative cancellation:
+// once ctx is done no new starts launch, in-flight starts finish, and the
+// best completed result is returned with Truncated set (and Starts = the
+// completed count). With ctx never firing it is bit-identical to
+// ParallelMultistart. k must be 2.
+func ParallelMultistartCtx(ctx context.Context, p *partition.Problem, cfg Config, starts int, rng *rand.Rand) (*Result, error) {
+	return parallelMultistartCtx(ctx, partitionWith, p, cfg, starts, rng)
+}
+
+// ParallelMultistartKWayCtx is ParallelMultistartKWay with the same
+// cooperative-cancellation contract as ParallelMultistartCtx, for any
+// k >= 2 (direct k-way V-cycle starts).
+func ParallelMultistartKWayCtx(ctx context.Context, p *partition.Problem, cfg Config, starts int, rng *rand.Rand) (*Result, error) {
+	return parallelMultistartCtx(ctx, partitionKWayWith, p, cfg, starts, rng)
+}
+
+func parallelMultistartCtx(ctx context.Context, part partitionFunc, p *partition.Problem, cfg Config, starts int, rng *rand.Rand) (*Result, error) {
+	if starts < 1 {
+		starts = 1
+	}
+	baseSeed := rng.Uint64()
+	results := make([]*Result, starts)
+	errs := make([]error, starts)
+	scratches := make([]*fm.Scratch, par.EffectiveWorkers(starts, cfg.Workers))
+	for w := range scratches {
+		scratches[w] = fm.GetScratch()
+	}
+	completed := par.ForEachWorkerCtx(ctx, starts, cfg.Workers, func(worker, i int) {
+		results[i], errs[i] = part(p, cfg, startRNG(baseSeed, i), scratches[worker])
+	})
+	for _, sc := range scratches {
+		fm.PutScratch(sc)
+	}
+	return reduceCompleted(ctx, results[:completed], errs[:completed], starts)
+}
+
+// reduceCompleted applies the serial best-of selection to the completed
+// prefix of a (possibly cancelled) multistart run: lowest-index error wins,
+// ties on cut break toward the lowest start index, and Truncated marks runs
+// that completed fewer starts than requested.
+func reduceCompleted(ctx context.Context, results []*Result, errs []error, requested int) (*Result, error) {
+	var best *Result
+	for i := range results {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		if best == nil || results[i].Cut < best.Cut {
+			best = results[i]
+		}
+	}
+	if best == nil {
+		if ctx != nil && ctx.Err() != nil {
+			return nil, fmt.Errorf("multilevel: cancelled before any start completed: %w", ctx.Err())
+		}
+		return nil, fmt.Errorf("multilevel: no starts completed")
+	}
+	best.Starts = len(results)
+	best.Truncated = len(results) < requested
+	return best, nil
+}
+
+// BuildHierarchies builds n independent coarsening hierarchies for the 2-way
+// problem p, hierarchy j on the deterministic RNG rand.NewPCG(seed, j). The
+// result is a pure function of (p, cfg, n, seed) — no timing, no worker
+// count — which is what lets hpartd cache hierarchies across requests: any
+// request that derives the same (instance fingerprint, coarsening
+// fingerprint, n, seed) key reuses them and gets answers bit-identical to a
+// cold build. Cancellation is checked between hierarchies; a cancelled build
+// returns ctx.Err() and no hierarchies.
+func BuildHierarchies(ctx context.Context, p *partition.Problem, cfg Config, n int, seed uint64) ([]*Hierarchy, error) {
+	if p.K != 2 {
+		return nil, fmt.Errorf("multilevel: BuildHierarchies requires k=2, got k=%d", p.K)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		n = 1
+	}
+	eff := cfg.effective()
+	maxCluster := bipartitionMaxCluster(p)
+	hiers := make([]*Hierarchy, 0, n)
+	for j := 0; j < n; j++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		hiers = append(hiers, buildLevels(p, eff, maxCluster, startRNG(seed, j)))
+	}
+	return hiers, nil
+}
+
+// WithRefinement returns a Hierarchy that shares h's (immutable) coarsening
+// stack but descends with cfg's refinement-phase settings — policy, pass
+// cutoffs, initial tries, follower pass fraction and the stats sink — after
+// the usual defaulting. This is how cached hierarchies serve requests whose
+// refinement configuration differs from the one the hierarchy was built
+// under: only the coarsening-phase fields (see CoarseningFingerprint) must
+// match the build for reuse to be sound.
+func (h *Hierarchy) WithRefinement(cfg Config) *Hierarchy {
+	return &Hierarchy{levels: h.levels, cfg: cfg.effective()}
+}
+
+// CoarseningFingerprint returns a stable hash of the configuration fields
+// that influence hierarchy construction — scheme, coarsest size, clustering
+// ratio, level bound and huge-net threshold — after defaulting. Two configs
+// with equal fingerprints build identical hierarchies from the same problem
+// and seed, so a hierarchy cache may serve either with the other's entries;
+// refinement-phase fields (policy, cutoffs, tries, stats) are deliberately
+// excluded because WithRefinement rebinds them per descent.
+func (c Config) CoarseningFingerprint() uint64 {
+	eff := c.effective()
+	return hypergraph.NewFingerprint().
+		Word(uint64(eff.Scheme)).
+		Word(uint64(eff.CoarsestSize)).
+		Word(uint64(eff.MaxLevels)).
+		Word(uint64(eff.HugeNetThreshold)).
+		Word(uint64(int64(eff.ClusteringRatio * 1e9))).
+		Sum()
+}
+
+// MultistartOnHierarchies runs `starts` refinement-only descents over
+// prebuilt hierarchies — the hpartd warm path, where the hierarchies come
+// from the cache and no request pays for coarsening. Start i descends
+// hierarchy i % len(hiers) on rand.NewPCG(baseSeed, i); the first
+// len(hiers) starts refine at full strength (owner discipline), later
+// starts apply cfg.FollowerPassFraction exactly as SharedMultistart's
+// follower starts do. The outcome is a pure function of (hiers, cfg,
+// starts, baseSeed) for any worker count; under cancellation the
+// best-of-completed-prefix contract of ParallelMultistartCtx applies.
+// Hierarchies are immutable, so any number of concurrent calls may share
+// them.
+func MultistartOnHierarchies(ctx context.Context, hiers []*Hierarchy, cfg Config, starts int, baseSeed uint64) (*Result, error) {
+	if len(hiers) == 0 {
+		return nil, fmt.Errorf("multilevel: MultistartOnHierarchies needs at least one hierarchy")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if starts < 1 {
+		starts = 1
+	}
+	h := len(hiers)
+	bound := make([]*Hierarchy, h)
+	for j, hier := range hiers {
+		bound[j] = hier.WithRefinement(cfg)
+	}
+	results := make([]*Result, starts)
+	errs := make([]error, starts)
+	scratches := make([]*fm.Scratch, par.EffectiveWorkers(starts, cfg.Workers))
+	for w := range scratches {
+		scratches[w] = fm.GetScratch()
+	}
+	completed := par.ForEachWorkerCtx(ctx, starts, cfg.Workers, func(worker, i int) {
+		results[i], errs[i] = bound[i%h].descendWith(startRNG(baseSeed, i), i >= h, scratches[worker])
+	})
+	for _, sc := range scratches {
+		fm.PutScratch(sc)
+	}
+	return reduceCompleted(ctx, results[:completed], errs[:completed], starts)
+}

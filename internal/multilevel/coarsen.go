@@ -1,8 +1,3 @@
-// Package multilevel implements the multilevel FM hypergraph partitioner the
-// paper uses as its testbed engine: heavy-edge-matching coarsening that
-// respects fixed vertices, random feasible initial solutions at the coarsest
-// level, and FM refinement during uncoarsening (CLIP by default, no
-// V-cycling), plus a multistart driver.
 package multilevel
 
 import (

@@ -112,8 +112,15 @@ type Result struct {
 	// Levels is the number of coarsening levels used (0 = flat).
 	Levels int
 	// Starts is the number of independent starts contributing to this result
-	// (1 for Partition, n for Multistart).
+	// (1 for Partition, n for Multistart). For the context-aware drivers it
+	// is the number of starts that actually completed, which may be fewer
+	// than requested when the run was cancelled.
 	Starts int
+	// Truncated reports that a context-aware driver was cancelled before all
+	// requested starts ran: the result is the best of the completed prefix —
+	// still a valid, feasible partition — but not necessarily the answer the
+	// full run would have returned.
+	Truncated bool
 }
 
 // Partition runs one start of the multilevel FM partitioner on the 2-way

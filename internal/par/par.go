@@ -9,6 +9,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -60,6 +61,59 @@ func ForEachWorker(n, workers int, fn func(worker, i int)) {
 	}
 	close(idx)
 	wg.Wait()
+}
+
+// ForEachWorkerCtx is ForEachWorker with cooperative cancellation: once ctx
+// is done, no further indices are dispatched, but every index already handed
+// to a worker runs to completion (fn is never interrupted mid-call). It
+// returns the number of indices dispatched — all of which have completed by
+// the time it returns. Indices are dispatched in order, so the set that ran
+// is exactly the prefix [0, dispatched).
+//
+// Determinism caveat: *how many* indices run under cancellation depends on
+// timing and worker count. Callers keep the per-index determinism contract
+// (index i's result never changes), but the length of the completed prefix —
+// and therefore any "best of completed" reduction — is only reproducible
+// when ctx never fires. A nil ctx means no cancellation.
+func ForEachWorkerCtx(ctx context.Context, n, workers int, fn func(worker, i int)) int {
+	if ctx == nil {
+		ForEachWorker(n, workers, fn)
+		return n
+	}
+	workers = EffectiveWorkers(n, workers)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return i
+			}
+			fn(0, i)
+		}
+		return n
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := range idx {
+				fn(w, i)
+			}
+		}(w)
+	}
+	dispatched := 0
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case idx <- i:
+			dispatched++
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	return dispatched
 }
 
 // EffectiveWorkers returns the number of pool slots ForEach/ForEachWorker

@@ -1,0 +1,28 @@
+package partition
+
+import "repro/internal/hypergraph"
+
+// Fingerprint returns a stable structural hash of the full partitioning
+// instance: the hypergraph fingerprint combined with k, the per-part balance
+// bounds and every allowed-parts mask. Two problems with equal fingerprints
+// pose the same instance to any solver in this repository, which is what
+// lets the hpartd hierarchy cache key coarsening work on it. Like
+// hypergraph.Fingerprint it is a pure function of the data (stable across
+// processes); it does not read the movable-count cache, so it is safe to
+// call concurrently with solvers sharing the Problem.
+func (p *Problem) Fingerprint() uint64 {
+	f := hypergraph.NewFingerprint().
+		Word(p.H.Fingerprint()).
+		Word(uint64(p.K)).
+		Word(uint64(p.Balance.NumParts())).
+		Word(uint64(p.Balance.NumResources()))
+	for q := range p.Balance.Max {
+		f = f.Words(p.Balance.Min[q]).Words(p.Balance.Max[q])
+	}
+	if p.Allowed != nil {
+		for _, m := range p.Allowed {
+			f = f.Word(uint64(m))
+		}
+	}
+	return f.Sum()
+}

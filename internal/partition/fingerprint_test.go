@@ -1,0 +1,55 @@
+package partition_test
+
+import (
+	"testing"
+
+	"repro/internal/hypergraph"
+	"repro/internal/partition"
+)
+
+func fingerprintProblem(t *testing.T) *partition.Problem {
+	t.Helper()
+	b := hypergraph.NewBuilder(1)
+	for v := 0; v < 8; v++ {
+		b.AddVertex(1)
+	}
+	b.AddNet(0, 1, 2)
+	b.AddNet(2, 3, 4)
+	b.AddNet(5, 6, 7)
+	h, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return partition.NewBipartition(h, 0.1)
+}
+
+// TestProblemFingerprint: the fingerprint identifies the full instance —
+// hypergraph, k, balance and constraints — so any of them moving must move
+// the hash, while re-deriving the same problem must not.
+func TestProblemFingerprint(t *testing.T) {
+	base := fingerprintProblem(t).Fingerprint()
+	if again := fingerprintProblem(t).Fingerprint(); again != base {
+		t.Fatalf("identical problems disagree: %016x vs %016x", again, base)
+	}
+
+	fixed := fingerprintProblem(t)
+	fixed.Fix(0, 1)
+	if fixed.Fingerprint() == base {
+		t.Error("fixing a vertex did not change the fingerprint")
+	}
+
+	masked := fingerprintProblem(t)
+	masked.Restrict(3, partition.Mask(0).With(0).With(1))
+	_ = masked.Fingerprint() // mask equal to free may or may not differ; just must not panic
+
+	k4 := fingerprintProblem(t)
+	p4 := partition.NewFree(k4.H, 4, 0.1)
+	if p4.Fingerprint() == base {
+		t.Error("k=4 problem collides with k=2 problem")
+	}
+
+	loose := partition.NewBipartition(fingerprintProblem(t).H, 0.4)
+	if loose.Fingerprint() == base {
+		t.Error("different balance tolerance collides")
+	}
+}

@@ -7,10 +7,26 @@ package profiling
 
 import (
 	"fmt"
+	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"runtime"
 	"runtime/pprof"
 )
+
+// AttachPprof registers the net/http/pprof handlers on mux under
+// /debug/pprof/, mirroring what importing net/http/pprof does to
+// http.DefaultServeMux without forcing the server to expose the default mux.
+// The profiles carry the multilevel phase labels, so
+// `go tool pprof -tagfocus phase=refine http://host/debug/pprof/profile`
+// isolates refinement work on a live hpartd.
+func AttachPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+}
 
 // Start enables the requested pprof outputs. An empty path skips that
 // profile. The returned stop function flushes them and must run before

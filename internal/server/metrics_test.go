@@ -1,0 +1,62 @@
+package server
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMetricsLatencyHistogram(t *testing.T) {
+	m := newMetrics()
+	m.observeLatency(500 * time.Microsecond) // bucket le=0.001
+	m.observeLatency(3 * time.Millisecond)   // bucket le=0.005
+	m.observeLatency(2 * time.Minute)        // +Inf only
+	var sb strings.Builder
+	m.writeTo(&sb, cacheStats{})
+	out := sb.String()
+	for _, w := range []string{
+		`hpartd_request_duration_seconds_bucket{le="0.001"} 1`,
+		`hpartd_request_duration_seconds_bucket{le="0.005"} 2`,
+		`hpartd_request_duration_seconds_bucket{le="60"} 2`,
+		`hpartd_request_duration_seconds_bucket{le="+Inf"} 3`,
+		`hpartd_request_duration_seconds_count 3`,
+	} {
+		if !strings.Contains(out, w) {
+			t.Errorf("missing %q in:\n%s", w, out)
+		}
+	}
+}
+
+func TestMetricsRequestLabels(t *testing.T) {
+	m := newMetrics()
+	m.observeRequest("partition", 200)
+	m.observeRequest("partition", 200)
+	m.observeRequest("partition", 429)
+	m.observeRejected("queue_full")
+	var sb strings.Builder
+	m.writeTo(&sb, cacheStats{Hits: 5, Misses: 2, Evictions: 1, Entries: 2})
+	out := sb.String()
+	for _, w := range []string{
+		`hpartd_requests_total{endpoint="partition",code="200"} 2`,
+		`hpartd_requests_total{endpoint="partition",code="429"} 1`,
+		`hpartd_rejected_total{reason="queue_full"} 1`,
+		"hpartd_cache_hits_total 5",
+		"hpartd_cache_misses_total 2",
+		"hpartd_cache_evictions_total 1",
+		"hpartd_cache_entries 2",
+	} {
+		if !strings.Contains(out, w) {
+			t.Errorf("missing %q", w)
+		}
+	}
+	// Exposition-format sanity: every non-comment line is "name{labels} value"
+	// or "name value" with no stray whitespace.
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if len(strings.Fields(line)) != 2 {
+			t.Errorf("malformed exposition line: %q", line)
+		}
+	}
+}
