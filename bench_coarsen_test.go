@@ -1,0 +1,202 @@
+package repro
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/multilevel"
+	"repro/internal/partition"
+)
+
+func envStr(name, def string) string {
+	if s := os.Getenv(name); s != "" {
+		return s
+	}
+	return def
+}
+
+// BenchmarkParallelCoarsen measures intra-descent parallel coarsening
+// (concurrent heavy-edge matching + contraction, Config.CoarsenWorkers) on a
+// million-cell instance, one row per worker count in {1, 2, 4, 8}. Every row
+// is verified bit-identical to the 1-worker build — level count, coarsest
+// fingerprint, and the cut and assignment of a full descent — before its
+// timing counts; the determinism checks run unconditionally on every host.
+//
+// Environment knobs:
+//
+//	REPRO_COARSEN_PRESET  instance preset (default HUGE1, one million cells)
+//	REPRO_COARSEN_SCALE   preset scale factor (default 1.0; CI smoke-tests a
+//	                      reduced scale)
+//
+// As in BenchmarkMultistart, rows raise GOMAXPROCS toward the worker count
+// but never past runtime.NumCPU(), so a row either measures real scaling or
+// bounded goroutine overhead — never time-slicing artifacts. The first run
+// writes BENCH_coarsen.json (num_cpu recorded) and enforces the speedup bars
+// the host can support: coarsening at 8 workers must be >= 3x faster than
+// serial given 8 cores, >= 2x given 4, >= 1.2x given 2; hosts without
+// spare cores instead bound every row's coarsening time to 2x serial (the
+// sharded contraction and propose/resolve rounds do real extra merge work
+// that only pays off once goroutines get their own cores).
+func BenchmarkParallelCoarsen(b *testing.B) {
+	presetName := envStr("REPRO_COARSEN_PRESET", "HUGE1")
+	scale := envFloat("REPRO_COARSEN_SCALE", 1.0)
+	nl := mustNetlist(b, presetName, scale)
+	p := partition.NewBipartition(nl.H, 0.02)
+	workerCounts := []int{1, 2, 4, 8}
+
+	// build runs one coarsening descent at the given worker count and
+	// reports the hierarchy, the coarsen-phase nanoseconds, the build
+	// wall-clock, and the GOMAXPROCS it ran under. The RNG is fixed so every
+	// build (and the descent that follows) sees the identical stream.
+	build := func(workers int) (*multilevel.Hierarchy, int64, time.Duration, int, *rand.Rand) {
+		procs := runtime.GOMAXPROCS(0)
+		if target := min(workers, runtime.NumCPU()); target > procs {
+			prev := runtime.GOMAXPROCS(target)
+			defer runtime.GOMAXPROCS(prev)
+			procs = target
+		}
+		phases := &multilevel.PhaseStats{}
+		rng := rand.New(rand.NewPCG(31, 41))
+		t0 := time.Now()
+		h, err := multilevel.BuildHierarchy(p, multilevel.Config{CoarsenWorkers: workers, Stats: phases}, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return h, phases.CoarsenNS, time.Since(t0), procs, rng
+	}
+
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var coarsenNS int64
+			for i := 0; i < b.N; i++ {
+				_, coarsenNS, _, _, _ = build(workers)
+			}
+			b.ReportMetric(float64(coarsenNS)/1e6, "coarsen-ms")
+		})
+	}
+
+	coarsenBaselineOnce.Do(func() {
+		base := coarsenBaseline{
+			Instance:   presetName,
+			Scale:      scale,
+			Vertices:   nl.H.NumVertices(),
+			Nets:       nl.H.NumNets(),
+			Pins:       nl.H.NumPins(),
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		}
+		var refCut int64
+		var refAssign partition.Assignment
+		var refFP uint64
+		for _, workers := range workerCounts {
+			h, coarsenNS, wall, procs, rng := build(workers)
+			fp := h.Coarsest().Fingerprint()
+			res, err := h.Descend(rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if workers == workerCounts[0] {
+				base.Levels = h.Levels()
+				base.Fingerprint = fmt.Sprintf("%016x", fp)
+				base.Cut = res.Cut
+				base.SerialCoarsenNS = coarsenNS
+				refCut, refAssign, refFP = res.Cut, res.Assignment, fp
+			} else {
+				// The determinism contract, enforced on every host: parallel
+				// coarsening must reproduce the serial hierarchy and answer
+				// bit for bit.
+				if h.Levels() != base.Levels {
+					b.Errorf("workers=%d: levels %d != serial %d (determinism contract broken)",
+						workers, h.Levels(), base.Levels)
+				}
+				if fp != refFP {
+					b.Errorf("workers=%d: coarsest fingerprint %016x != serial %016x (determinism contract broken)",
+						workers, fp, refFP)
+				}
+				if res.Cut != refCut {
+					b.Errorf("workers=%d: cut %d != serial cut %d (determinism contract broken)",
+						workers, res.Cut, refCut)
+				}
+				for v := range refAssign {
+					if res.Assignment[v] != refAssign[v] {
+						b.Errorf("workers=%d: assignment diverges from serial at vertex %d", workers, v)
+						break
+					}
+				}
+			}
+			base.Rows = append(base.Rows, coarsenSample{
+				Workers:    workers,
+				GOMAXPROCS: procs,
+				CoarsenNS:  coarsenNS,
+				BuildNS:    wall.Nanoseconds(),
+				Speedup:    float64(base.SerialCoarsenNS) / float64(coarsenNS),
+			})
+		}
+
+		// Speedup bars scale with the cores the host can actually grant;
+		// without spare cores the rows bound pure goroutine overhead instead.
+		row8 := base.Rows[len(base.Rows)-1]
+		switch {
+		case base.NumCPU >= 8 && row8.Speedup < 3.0:
+			b.Errorf("coarsen speedup at 8 workers %.2fx below the 3x bar on %d cores (serial %.1fms vs %.1fms)",
+				row8.Speedup, base.NumCPU, float64(base.SerialCoarsenNS)/1e6, float64(row8.CoarsenNS)/1e6)
+		case base.NumCPU >= 4 && base.NumCPU < 8 && row8.Speedup < 2.0:
+			b.Errorf("coarsen speedup at 8 workers %.2fx below the 2x bar on %d cores", row8.Speedup, base.NumCPU)
+		case base.NumCPU >= 2 && base.NumCPU < 4 && row8.Speedup < 1.2:
+			b.Errorf("coarsen speedup at 8 workers %.2fx below the 1.2x bar on %d cores", row8.Speedup, base.NumCPU)
+		case base.NumCPU == 1:
+			for _, row := range base.Rows {
+				if float64(row.CoarsenNS) > 2.0*float64(base.SerialCoarsenNS) {
+					b.Errorf("workers=%d coarsening %.1fms exceeds the 2x overhead bound over serial %.1fms on one core",
+						row.Workers, float64(row.CoarsenNS)/1e6, float64(base.SerialCoarsenNS)/1e6)
+				}
+			}
+		}
+
+		buf, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_coarsen.json", append(buf, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+		fmt.Printf("wrote BENCH_coarsen.json (%s@%g, serial coarsen %.1fms, 8-worker speedup %.2fx on %d cores, cut %d)\n",
+			presetName, scale, float64(base.SerialCoarsenNS)/1e6, row8.Speedup, base.NumCPU, base.Cut)
+	})
+}
+
+var coarsenBaselineOnce sync.Once
+
+// coarsenBaseline is the schema of BENCH_coarsen.json. Speedup is the
+// serial coarsen-phase time divided by the row's; num_cpu records how many
+// real cores the rows could use, which is what the speedup bars (and the CI
+// smoke assertion) condition on. Fingerprint and cut are the
+// worker-invariant answers every row was verified against.
+type coarsenBaseline struct {
+	Instance        string          `json:"instance"`
+	Scale           float64         `json:"scale"`
+	Vertices        int             `json:"vertices"`
+	Nets            int             `json:"nets"`
+	Pins            int             `json:"pins"`
+	NumCPU          int             `json:"num_cpu"`
+	GOMAXPROCS      int             `json:"gomaxprocs"`
+	Levels          int             `json:"levels"`
+	Fingerprint     string          `json:"fingerprint"`
+	Cut             int64           `json:"cut"`
+	SerialCoarsenNS int64           `json:"serial_coarsen_ns"`
+	Rows            []coarsenSample `json:"rows"`
+}
+
+type coarsenSample struct {
+	Workers    int     `json:"workers"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	CoarsenNS  int64   `json:"coarsen_ns"`
+	BuildNS    int64   `json:"build_ns"`
+	Speedup    float64 `json:"speedup"`
+}

@@ -6,12 +6,16 @@
 //
 //	hpart -dir bench -base IBM01SA_L0_V [-engine ml|lifo|clip] [-starts 4]
 //	      [-kway direct|rb] [-cutoff 0.25] [-seed 1] [-workers 0]
-//	      [-shared-coarsen] [-hierarchies 2] [-stats]
+//	      [-coarsen-workers 1] [-shared-coarsen] [-hierarchies 2] [-stats]
 //	      [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	      [-out solution.sol]
 //
 // With the ml engine, independent starts run on -workers goroutines
 // (0 = GOMAXPROCS); the result is identical for every worker count.
+// -coarsen-workers parallelizes the inside of each coarsening descent —
+// heavy-edge matching and contraction — on top of that (default 1, serial;
+// 0 = GOMAXPROCS). It too never changes results: hierarchies, cuts and
+// fingerprints are bit-identical for every value.
 // -shared-coarsen (2-way bundles only) amortises coarsening across starts:
 // -hierarchies owner starts build and fully refine private hierarchies, the
 // remaining starts resample those hierarchies as cheap pass-cutoff follower
@@ -31,6 +35,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/bookshelf"
@@ -50,6 +55,7 @@ func main() {
 		cutoff      = flag.Float64("cutoff", 1, "pass cutoff fraction after the first pass (1 = none)")
 		seed        = flag.Uint64("seed", 1, "random seed")
 		workers     = flag.Int("workers", 0, "goroutines for parallel multistart (0 = GOMAXPROCS)")
+		coarsenW    = flag.Int("coarsen-workers", 1, "goroutines inside each coarsening descent (0 = GOMAXPROCS; never changes results)")
 		shared      = flag.Bool("shared-coarsen", false, "share coarsening hierarchies across ml starts (2-way only)")
 		hierarchies = flag.Int("hierarchies", 2, "shared hierarchies to build with -shared-coarsen")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -68,7 +74,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hpart:", err)
 		os.Exit(1)
 	}
-	err = run(*dir, *base, *engine, *kway, *starts, *cutoff, *seed, *workers, *shared, *hierarchies, *stats, *out)
+	err = run(*dir, *base, *engine, *kway, *starts, *cutoff, *seed, *workers, *coarsenW, *shared, *hierarchies, *stats, *out)
 	stop()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hpart:", err)
@@ -76,7 +82,7 @@ func main() {
 	}
 }
 
-func run(dir, base, engine, kway string, starts int, cutoff float64, seed uint64, workers int, shared bool, hierarchies int, stats bool, out string) error {
+func run(dir, base, engine, kway string, starts int, cutoff float64, seed uint64, workers, coarsenWorkers int, shared bool, hierarchies int, stats bool, out string) error {
 	p, err := bookshelf.ReadProblem(dir, base)
 	if err != nil {
 		return err
@@ -97,7 +103,10 @@ func run(dir, base, engine, kway string, starts int, cutoff float64, seed uint64
 	}
 	switch engine {
 	case "ml":
-		cfg := multilevel.Config{MaxPassFraction: passFraction(cutoff), Workers: workers, Stats: phases}
+		if coarsenWorkers == 0 {
+			coarsenWorkers = runtime.GOMAXPROCS(0)
+		}
+		cfg := multilevel.Config{MaxPassFraction: passFraction(cutoff), Workers: workers, CoarsenWorkers: coarsenWorkers, Stats: phases}
 		switch {
 		case p.K == 2 && shared:
 			res, err := multilevel.ParallelSharedMultistart(p, cfg, starts, hierarchies, rng)

@@ -15,6 +15,10 @@
 //	-queue int          admission queue depth (default 2*concurrency)
 //	-cache int          hierarchy cache capacity in instances (default 32)
 //	-run-workers int    goroutines per run's multistart fan-out (default 1)
+//	-coarsen-workers int  default goroutines inside each coarsening descent
+//	                    (default 1; requests may override with
+//	                    "coarsen_workers", clamped to GOMAXPROCS; never
+//	                    changes results)
 //	-max-body int       request body limit in bytes (default 32 MiB)
 //	-max-starts int     per-request multistart limit (default 64)
 //	-timeout duration   default per-request timeout (default 1m)
@@ -45,6 +49,7 @@ func main() {
 	queue := flag.Int("queue", 0, "admission queue depth (0 = 2*concurrency)")
 	cache := flag.Int("cache", 32, "hierarchy cache capacity in instances")
 	runWorkers := flag.Int("run-workers", 1, "goroutines per run's multistart fan-out")
+	coarsenWorkers := flag.Int("coarsen-workers", 1, "default goroutines inside each coarsening descent (clamped to GOMAXPROCS; never changes results)")
 	maxBody := flag.Int64("max-body", 32<<20, "request body limit in bytes")
 	maxStarts := flag.Int("max-starts", 64, "per-request multistart limit")
 	timeout := flag.Duration("timeout", time.Minute, "default per-request timeout")
@@ -57,6 +62,7 @@ func main() {
 		QueueDepth:     *queue,
 		CacheEntries:   *cache,
 		RunWorkers:     *runWorkers,
+		CoarsenWorkers: *coarsenWorkers,
 		MaxBodyBytes:   *maxBody,
 		MaxStarts:      *maxStarts,
 		DefaultTimeout: *timeout,

@@ -40,9 +40,53 @@ func IBMPresets() []Preset {
 	}
 }
 
+// HugePresets returns HUGE1/HUGE2, million-cell synthetic instances sized
+// for the intra-descent parallel coarsening path (BenchmarkParallelCoarsen,
+// BENCH_coarsen.json). They are placement-scale rather than suite stand-ins:
+// HUGE1 keeps the IBM-like Rent exponent, HUGE2 is larger, flatter
+// (p = 0.62) and slightly denser, so the two stress different net-size
+// mixes. Area skew is kept small so bipartition balance stays feasible at
+// tight tolerances.
+func HugePresets() []Preset {
+	return []Preset{
+		{
+			Name: "HUGE1",
+			Params: Params{
+				Cells:         1_000_000,
+				Pads:          4_000,
+				RentExponent:  0.68,
+				PinsPerCell:   3.9,
+				AvgNetSize:    3.5,
+				MacroFraction: 0.0002,
+				MaxAreaPct:    1.5,
+				Seed:          201,
+			},
+		},
+		{
+			Name: "HUGE2",
+			Params: Params{
+				Cells:         1_500_000,
+				Pads:          6_000,
+				RentExponent:  0.62,
+				PinsPerCell:   4.2,
+				AvgNetSize:    3.8,
+				MacroFraction: 0.0002,
+				MaxAreaPct:    1.5,
+				Seed:          202,
+			},
+		},
+	}
+}
+
+// AllPresets returns every named preset: the IBM stand-ins followed by the
+// million-cell HUGE instances.
+func AllPresets() []Preset {
+	return append(IBMPresets(), HugePresets()...)
+}
+
 // PresetByName returns the preset with the given name (case-sensitive).
 func PresetByName(name string) (Preset, error) {
-	for _, p := range IBMPresets() {
+	for _, p := range AllPresets() {
 		if p.Name == name {
 			return p, nil
 		}

@@ -145,7 +145,10 @@ func (h *Hierarchy) WithRefinement(cfg Config) *Hierarchy {
 // with equal fingerprints build identical hierarchies from the same problem
 // and seed, so a hierarchy cache may serve either with the other's entries;
 // refinement-phase fields (policy, cutoffs, tries, stats) are deliberately
-// excluded because WithRefinement rebinds them per descent.
+// excluded because WithRefinement rebinds them per descent. CoarsenWorkers
+// is excluded too: it only splits the matching and contraction scans over
+// goroutines and never changes the hierarchy, so caches stay shareable
+// across clients asking for different worker counts.
 func (c Config) CoarseningFingerprint() uint64 {
 	eff := c.effective()
 	return hypergraph.NewFingerprint().

@@ -30,7 +30,7 @@ func TestMatchLevelRespectsMasksAndWeights(t *testing.T) {
 		p.Fix(v, (v/3)%2)
 	}
 	const maxW = 4
-	coarse, clusterOf, ok := matchLevel(p, nil, maxW, 0.95, 50, rng)
+	coarse, clusterOf, ok := matchLevel(p, nil, maxW, 0.95, 50, 2, rng)
 	if !ok {
 		t.Fatal("matching failed to shrink")
 	}
@@ -69,7 +69,7 @@ func TestMatchLevelPartRestriction(t *testing.T) {
 	for v := range part {
 		part[v] = int8(v % 2)
 	}
-	_, clusterOf, ok := matchLevel(p, part, 1<<40, 0.95, 50, rng)
+	_, clusterOf, ok := matchLevel(p, part, 1<<40, 0.95, 50, 3, rng)
 	if !ok {
 		t.Skip("restricted matching found nothing (acceptable on this draw)")
 	}
@@ -105,7 +105,7 @@ func TestHyperedgeLevelContractsWholeNets(t *testing.T) {
 	}
 	p := partition.NewBipartition(b.MustBuild(), 0.2)
 	rng := rand.New(rand.NewPCG(8, 8))
-	coarse, clusterOf, ok := hyperedgeLevel(p, nil, 1<<40, 0.95, 50, false, rng)
+	coarse, clusterOf, ok := hyperedgeLevel(p, nil, 1<<40, 0.95, 50, false, 2, rng)
 	if !ok {
 		t.Fatal("hyperedge coarsening failed")
 	}
@@ -131,7 +131,7 @@ func TestHyperedgeLevelWeightCap(t *testing.T) {
 	p := partition.NewBipartition(b.MustBuild(), 0.3)
 	rng := rand.New(rand.NewPCG(9, 9))
 	// Cap 20 allows the 2-pin net only.
-	_, clusterOf, ok := hyperedgeLevel(p, nil, 20, 0.99, 50, false, rng)
+	_, clusterOf, ok := hyperedgeLevel(p, nil, 20, 0.99, 50, false, 1, rng)
 	if !ok {
 		t.Fatal("coarsening failed")
 	}
@@ -154,7 +154,7 @@ func TestModifiedHyperedgeContractsResiduals(t *testing.T) {
 	b.AddNet(1, 2, 3)
 	p := partition.NewBipartition(b.MustBuild(), 0.5)
 	rng := rand.New(rand.NewPCG(10, 10))
-	_, clusterOf, ok := hyperedgeLevel(p, nil, 1<<40, 0.99, 50, true, rng)
+	_, clusterOf, ok := hyperedgeLevel(p, nil, 1<<40, 0.99, 50, true, 1, rng)
 	if !ok {
 		t.Fatal("coarsening failed")
 	}

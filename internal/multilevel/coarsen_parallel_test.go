@@ -1,0 +1,109 @@
+package multilevel_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/multilevel"
+	"repro/internal/partition"
+)
+
+// TestCoarsenWorkersGoldenEquivalence is the determinism contract of
+// intra-descent parallel coarsening: for workers in {1, 2, 4, 8} both the
+// hierarchy (level count, coarsest fingerprint) and the full partitioning
+// result (cut + assignment) must be bit-identical to the serial path
+// (CoarsenWorkers = 0), on free and fixed-terminals instances. Run under
+// -race in CI, which also exercises the concurrent matching and contraction
+// passes.
+func TestCoarsenWorkersGoldenEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		fixedFrac float64
+	}{
+		{"IBM01S", 0}, {"IBM01S", 0.2}, {"IBM02S", 0},
+	} {
+		p := presetProblem(t, tc.name, 0.08, tc.fixedFrac)
+		serialRNG := rand.New(rand.NewPCG(17, 23))
+		wantH, err := multilevel.BuildHierarchy(p, multilevel.Config{}, serialRNG)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := wantH.Descend(serialRNG)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			cfg := multilevel.Config{CoarsenWorkers: workers}
+			rng := rand.New(rand.NewPCG(17, 23))
+			gotH, err := multilevel.BuildHierarchy(p, cfg, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotH.Levels() != wantH.Levels() {
+				t.Errorf("%s fixed=%.1f workers=%d: levels = %d, serial %d",
+					tc.name, tc.fixedFrac, workers, gotH.Levels(), wantH.Levels())
+			}
+			if gf, wf := gotH.Coarsest().Fingerprint(), wantH.Coarsest().Fingerprint(); gf != wf {
+				t.Errorf("%s fixed=%.1f workers=%d: coarsest fingerprint %x, serial %x",
+					tc.name, tc.fixedFrac, workers, gf, wf)
+			}
+			got, err := gotH.Descend(rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResult(t, tc.name, want, got)
+		}
+	}
+}
+
+// TestCoarsenWorkersKWayAndVCycle extends the golden guarantee to the other
+// two drivers with private coarsening loops: direct k-way descents and
+// solution-restricted V-cycle coarsening must also be worker-count
+// invariant.
+func TestCoarsenWorkersKWayAndVCycle(t *testing.T) {
+	p2 := presetProblem(t, "IBM01S", 0.08, 0.1)
+	base, err := multilevel.Partition(p2, multilevel.Config{}, rand.New(rand.NewPCG(5, 6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantV, err := multilevel.VCycle(p2, base.Assignment, multilevel.Config{}, rand.New(rand.NewPCG(7, 8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p4 := partition.NewFree(presetProblem(t, "IBM02S", 0.06, 0).H, 4, 0.1)
+	wantK, err := multilevel.PartitionKWay(p4, multilevel.Config{}, rand.New(rand.NewPCG(9, 10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{2, 8} {
+		cfg := multilevel.Config{CoarsenWorkers: workers}
+		gotV, err := multilevel.VCycle(p2, base.Assignment, cfg, rand.New(rand.NewPCG(7, 8)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, "vcycle", wantV, gotV)
+		gotK, err := multilevel.PartitionKWay(p4, cfg, rand.New(rand.NewPCG(9, 10)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, "kway", wantK, gotK)
+	}
+}
+
+// TestCoarsenWorkersFingerprintUnchanged pins the cache-compatibility rule:
+// CoarsenWorkers splits scans over goroutines without changing any result,
+// so it must not move CoarseningFingerprint — hierarchies cached for one
+// worker count serve every other.
+func TestCoarsenWorkersFingerprintUnchanged(t *testing.T) {
+	base := multilevel.Config{}.CoarseningFingerprint()
+	for _, workers := range []int{1, 2, 8, 64} {
+		if got := (multilevel.Config{CoarsenWorkers: workers}).CoarseningFingerprint(); got != base {
+			t.Errorf("CoarsenWorkers=%d moved CoarseningFingerprint: %x vs %x", workers, got, base)
+		}
+	}
+	if got := (multilevel.Config{CoarsestSize: 60}).CoarseningFingerprint(); got == base {
+		t.Error("control: CoarsestSize should move the fingerprint")
+	}
+}

@@ -126,7 +126,7 @@ func partitionKWayWith(p *partition.Problem, cfg Config, rng *rand.Rand, sc *fm.
 		if curr.MovableCount() <= cfg.CoarsestSize {
 			break
 		}
-		coarse, clusterOf, ok := coarsenLevel(cfg.Scheme, curr, nil, maxCluster, cfg.ClusteringRatio, cfg.HugeNetThreshold, rng)
+		coarse, clusterOf, ok := coarsenLevel(cfg.Scheme, curr, nil, maxCluster, cfg.ClusteringRatio, cfg.HugeNetThreshold, cfg.CoarsenWorkers, rng)
 		if !ok {
 			break
 		}

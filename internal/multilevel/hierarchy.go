@@ -80,7 +80,7 @@ func buildLevels(p *partition.Problem, cfg Config, maxCluster int64, rng *rand.R
 			if curr.MovableCount() <= cfg.CoarsestSize {
 				break
 			}
-			coarse, clusterOf, ok := coarsenLevel(cfg.Scheme, curr, nil, maxCluster, cfg.ClusteringRatio, cfg.HugeNetThreshold, rng)
+			coarse, clusterOf, ok := coarsenLevel(cfg.Scheme, curr, nil, maxCluster, cfg.ClusteringRatio, cfg.HugeNetThreshold, cfg.CoarsenWorkers, rng)
 			if !ok {
 				break
 			}

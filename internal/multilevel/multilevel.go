@@ -58,6 +58,15 @@ type Config struct {
 	// ParallelAdaptiveMultistart (<= 0 means runtime.GOMAXPROCS). It never
 	// affects results: output is bit-identical for every worker count.
 	Workers int
+	// CoarsenWorkers parallelizes the inside of each coarsening descent:
+	// heavy-edge matching and contraction split their scans over this many
+	// goroutines (default/<= 0 means 1, fully serial on the calling
+	// goroutine). Like Workers it never affects results — matching is
+	// propose/resolve with deterministic conflict resolution and contraction
+	// merges shards in net order, so hierarchies, cuts and fingerprints are
+	// bit-identical for every value — which is why CoarseningFingerprint
+	// deliberately excludes it.
+	CoarsenWorkers int
 	// Stats, when non-nil, accumulates per-phase wall time and heap
 	// allocation counts (coarsen / initial partitioning / refinement) over
 	// every descent run with this config. Counters are updated atomically;
@@ -222,14 +231,14 @@ func AdaptiveMultistart(p *partition.Problem, cfg Config, maxStarts, patience in
 }
 
 // coarsenLevel dispatches one coarsening round to the configured scheme.
-func coarsenLevel(s Scheme, p *partition.Problem, part partition.Assignment, maxCluster int64, minShrink float64, hugeNet int, rng *rand.Rand) (*partition.Problem, []int32, bool) {
+func coarsenLevel(s Scheme, p *partition.Problem, part partition.Assignment, maxCluster int64, minShrink float64, hugeNet, workers int, rng *rand.Rand) (*partition.Problem, []int32, bool) {
 	switch s {
 	case Hyperedge:
-		return hyperedgeLevel(p, part, maxCluster, minShrink, hugeNet, false, rng)
+		return hyperedgeLevel(p, part, maxCluster, minShrink, hugeNet, false, workers, rng)
 	case ModifiedHyperedge:
-		return hyperedgeLevel(p, part, maxCluster, minShrink, hugeNet, true, rng)
+		return hyperedgeLevel(p, part, maxCluster, minShrink, hugeNet, true, workers, rng)
 	default:
-		return matchLevel(p, part, maxCluster, minShrink, hugeNet, rng)
+		return matchLevel(p, part, maxCluster, minShrink, hugeNet, workers, rng)
 	}
 }
 

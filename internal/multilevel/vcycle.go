@@ -46,7 +46,7 @@ func VCycle(p *partition.Problem, a partition.Assignment, cfg Config, rng *rand.
 		if curr.problem.MovableCount() <= cfg.CoarsestSize {
 			break
 		}
-		coarse, clusterOf, ok := coarsenLevel(cfg.Scheme, curr.problem, curr.sol, maxCluster, cfg.ClusteringRatio, cfg.HugeNetThreshold, rng)
+		coarse, clusterOf, ok := coarsenLevel(cfg.Scheme, curr.problem, curr.sol, maxCluster, cfg.ClusteringRatio, cfg.HugeNetThreshold, cfg.CoarsenWorkers, rng)
 		if !ok {
 			break
 		}

@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"math/rand/v2"
+	"runtime"
 	"sort"
 
 	"repro/internal/gen"
@@ -63,6 +64,12 @@ type Request struct {
 	// Workers bounds the goroutines this run's starts fan out on (default:
 	// the server's per-run worker setting). It never changes results.
 	Workers int `json:"workers,omitempty"`
+	// CoarsenWorkers parallelizes the inside of each coarsening descent
+	// (matching + contraction; default: the server's -coarsen-workers flag,
+	// clamped to GOMAXPROCS). Like Workers it never changes results —
+	// hierarchies, cuts and fingerprints are bit-identical for every value —
+	// so it does not participate in the hierarchy-cache key.
+	CoarsenWorkers int `json:"coarsen_workers,omitempty"`
 	// TimeoutMS bounds the run's wall clock; a run cut short returns the
 	// best completed result with "truncated": true (or 504 if nothing
 	// finished). 0 means the server default; values above the server
@@ -120,9 +127,12 @@ type Response struct {
 	Truncated       bool `json:"truncated"`
 	Levels          int  `json:"levels"`
 	// Cache is "hit", "miss" or "bypass" (k > 2 runs are uncached).
-	Cache       string    `json:"cache"`
-	ElapsedMS   float64   `json:"elapsed_ms"`
-	PartWeights [][]int64 `json:"part_weights"`
+	Cache string `json:"cache"`
+	// CoarsenWorkers is the effective intra-descent coarsening parallelism
+	// this run used, after defaulting and the GOMAXPROCS clamp.
+	CoarsenWorkers int       `json:"coarsen_workers"`
+	ElapsedMS      float64   `json:"elapsed_ms"`
+	PartWeights    [][]int64 `json:"part_weights"`
 	// Phases carries the run's per-phase wall time, allocation and FM-kernel
 	// counters (zero coarsen time is the signature of a cache hit).
 	Phases *multilevel.PhaseStats `json:"phases,omitempty"`
@@ -170,6 +180,14 @@ func (r Request) withDefaults(cfg Config) Request {
 	if r.Workers == 0 {
 		r.Workers = cfg.RunWorkers
 	}
+	if r.CoarsenWorkers == 0 {
+		r.CoarsenWorkers = cfg.CoarsenWorkers
+	}
+	// More coarsen workers than schedulable CPUs only adds overhead (results
+	// are identical either way), so clamp rather than reject.
+	if max := runtime.GOMAXPROCS(0); r.CoarsenWorkers > max {
+		r.CoarsenWorkers = max
+	}
 	return r
 }
 
@@ -192,6 +210,9 @@ func (r Request) validate(cfg Config) error {
 	}
 	if r.RefinePasses < 0 {
 		return fmt.Errorf("refine_passes %d is negative", r.RefinePasses)
+	}
+	if r.CoarsenWorkers < 0 {
+		return fmt.Errorf("coarsen_workers %d is negative", r.CoarsenWorkers)
 	}
 	if r.Starts > cfg.MaxStarts {
 		return fmt.Errorf("starts %d exceeds server limit %d", r.Starts, cfg.MaxStarts)
@@ -242,6 +263,9 @@ func (e errTooLarge) Error() string { return e.msg }
 // netlist, so warm requests skip generation entirely; prob may be nil in
 // that case. The per-key hierarchy build seed is derived from the key
 // itself, keeping hierarchy construction a pure function of the key.
+// coarsen_workers is deliberately absent: it never changes the hierarchies
+// (CoarseningFingerprint excludes it for the same reason), so entries built
+// at any worker count serve every request.
 func (r Request) cacheKey(prob *partition.Problem) string {
 	f := hypergraph.NewFingerprint().
 		Word(uint64(r.K)).

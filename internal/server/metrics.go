@@ -40,7 +40,11 @@ type metrics struct {
 	coarsenNS int64
 	initNS    int64
 	refineNS  int64
-	kernel    fm.KernelStats
+	// coarsenWorkers is the effective intra-descent coarsening parallelism of
+	// the most recent completed run (after defaulting and the GOMAXPROCS
+	// clamp).
+	coarsenWorkers int64
+	kernel         fm.KernelStats
 }
 
 func newMetrics() *metrics {
@@ -76,10 +80,12 @@ func (m *metrics) observeRejected(reason string) {
 }
 
 // observeRun folds one completed partition run into the aggregate engine
-// counters: starts actually executed, truncation, and the per-phase wall
-// time and FM-kernel work the run recorded in its private PhaseStats.
-func (m *metrics) observeRun(res *multilevel.Result, phases *multilevel.PhaseStats) {
+// counters: starts actually executed, truncation, the effective coarsening
+// worker count, and the per-phase wall time and FM-kernel work the run
+// recorded in its private PhaseStats.
+func (m *metrics) observeRun(res *multilevel.Result, phases *multilevel.PhaseStats, coarsenWorkers int) {
 	atomic.AddInt64(&m.starts, int64(res.Starts))
+	atomic.StoreInt64(&m.coarsenWorkers, int64(coarsenWorkers))
 	if res.Truncated {
 		atomic.AddInt64(&m.truncated, 1)
 	}
@@ -162,6 +168,9 @@ func (m *metrics) writeTo(w io.Writer, cache cacheStats) {
 	fmt.Fprintf(w, "hpartd_phase_seconds_total{phase=\"coarsen\"} %g\n", float64(atomic.LoadInt64(&m.coarsenNS))/1e9)
 	fmt.Fprintf(w, "hpartd_phase_seconds_total{phase=\"init\"} %g\n", float64(atomic.LoadInt64(&m.initNS))/1e9)
 	fmt.Fprintf(w, "hpartd_phase_seconds_total{phase=\"refine\"} %g\n", float64(atomic.LoadInt64(&m.refineNS))/1e9)
+
+	gauge("hpartd_coarsen_workers", "Effective intra-descent coarsening parallelism of the most recent run.", atomic.LoadInt64(&m.coarsenWorkers))
+	counter("hpartd_coarsen_phase_ns_total", "Coarsening-phase wall time in nanoseconds across all runs.", atomic.LoadInt64(&m.coarsenNS))
 
 	k := m.kernel.Snapshot()
 	counter("hpartd_fm_nets_skipped_total", "Nets bypassed by locked-net short-circuiting in the FM kernel.", k.NetsSkipped)

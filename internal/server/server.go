@@ -35,6 +35,11 @@ type Config struct {
 	// throughput-optimal choice under load; requests may override with
 	// "workers").
 	RunWorkers int
+	// CoarsenWorkers is the default intra-descent coarsening parallelism
+	// (matching + contraction goroutines per descent; default 1, serial).
+	// Requests may override with "coarsen_workers"; either way the value is
+	// clamped to GOMAXPROCS and never changes results.
+	CoarsenWorkers int
 	// CacheEntries is the hierarchy-cache capacity in instances
 	// (default 32).
 	CacheEntries int
@@ -60,6 +65,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RunWorkers == 0 {
 		c.RunWorkers = 1
+	}
+	if c.CoarsenWorkers == 0 {
+		c.CoarsenWorkers = 1
 	}
 	if c.CacheEntries < 1 {
 		c.CacheEntries = 32
@@ -302,6 +310,7 @@ func (s *Server) run(ctx context.Context, req Request) (*Response, int, string) 
 		MaxPassFraction: passFraction(req.Cutoff),
 		RefineMaxPasses: req.RefinePasses,
 		Workers:         req.Workers,
+		CoarsenWorkers:  req.CoarsenWorkers,
 		Stats:           phases,
 	}
 	if req.Policy == "lifo" {
@@ -376,7 +385,7 @@ func (s *Server) run(ctx context.Context, req Request) (*Response, int, string) 
 		}
 		return nil, http.StatusUnprocessableEntity, err.Error()
 	}
-	s.metrics.observeRun(res, phases)
+	s.metrics.observeRun(res, phases, req.CoarsenWorkers)
 	if ferr := prob.Feasible(res.Assignment); ferr != nil {
 		return nil, http.StatusInternalServerError, "internal error: infeasible result: " + ferr.Error()
 	}
@@ -399,6 +408,7 @@ func (s *Server) run(ctx context.Context, req Request) (*Response, int, string) 
 		Truncated:       res.Truncated,
 		Levels:          res.Levels,
 		Cache:           cacheKind,
+		CoarsenWorkers:  req.CoarsenWorkers,
 		PartWeights:     partition.PartWeights(prob.H, res.Assignment, prob.K),
 		Phases:          phases,
 	}, 0, ""
@@ -459,7 +469,7 @@ func (s *Server) handlePresets(w http.ResponseWriter, r *http.Request) {
 		Pads  int    `json:"pads"`
 	}
 	var out []preset
-	for _, pr := range gen.IBMPresets() {
+	for _, pr := range gen.AllPresets() {
 		out = append(out, preset{Name: pr.Name, Cells: pr.Params.Cells, Pads: pr.Params.Pads})
 	}
 	s.metrics.observeRequest("presets", http.StatusOK)
