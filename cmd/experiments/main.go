@@ -4,15 +4,20 @@
 // Usage:
 //
 //	experiments -exp table1|fig1|fig2|table2|table3|table4|multiway|
-//	                 constraint|profile|starts|all
-//	            [-scale 0.25] [-trials 10] [-seed 1] [-workers 0] [-stats]
-//	            [-csv sweep.csv]
+//	                 constraint|profile|starts|objective|all
+//	            [-scale 0.25] [-trials 10] [-seed 1] [-workers 0]
+//	            [-objective cut|km1] [-stats] [-csv sweep.csv]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // The experiment ids beyond the paper's tables and figures are the extension
 // studies: constraint (constraint-strength sweep), profile (within-pass gain
-// profiles), starts (multistart-effort curve). -csv additionally writes the
+// profiles), starts (multistart-effort curve), objective (cut- vs
+// km1-optimized multistart at k in {2,4,8}). -csv additionally writes the
 // fig1/fig2 sweep data as CSV for external plotting.
+//
+// -objective selects the metric every multilevel run in the sweeps optimizes
+// and selects starts by ("cut", the default, or "km1"); the objective study
+// itself always runs both.
 //
 // Independent experiment cells run on -workers goroutines (0 = GOMAXPROCS);
 // results are identical for every worker count.
@@ -33,6 +38,7 @@ import (
 
 	"repro/internal/benchgen"
 	"repro/internal/experiments"
+	"repro/internal/fm"
 	"repro/internal/gen"
 	"repro/internal/multilevel"
 	"repro/internal/place"
@@ -42,7 +48,8 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment id: table1, fig1, fig2, table2, table3, table4, multiway, constraint, profile, starts or all")
+		exp        = flag.String("exp", "all", "experiment id: table1, fig1, fig2, table2, table3, table4, multiway, constraint, profile, starts, objective or all")
+		objective  = flag.String("objective", "cut", "metric multilevel runs optimize and select by: cut or km1")
 		scale      = flag.Float64("scale", 0.25, "scale factor for circuit sizes")
 		trials     = flag.Int("trials", 10, "trials per data point (paper: 50)")
 		seed       = flag.Uint64("seed", 1, "random seed")
@@ -55,6 +62,12 @@ func main() {
 	flag.Parse()
 	csvPath = *csvOut
 	cellWorkers = *workers
+	var err error
+	mlObjective, err = fm.ParseObjective(*objective)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
 	if *stats {
 		mlStats = &multilevel.PhaseStats{}
 	}
@@ -94,9 +107,10 @@ func run(exp string, scale float64, trials int, seed uint64) error {
 		"constraint": func() error { return constraint(scale, trials, seed) },
 		"profile":    func() error { return profile(scale, trials, seed) },
 		"starts":     func() error { return starts(scale, trials, seed) },
+		"objective":  func() error { return objectiveStudy(scale, trials, seed) },
 	}
 	if exp == "all" {
-		for _, id := range []string{"table1", "fig1", "fig2", "table2", "table3", "table4", "multiway", "constraint", "profile", "starts"} {
+		for _, id := range []string{"table1", "fig1", "fig2", "table2", "table3", "table4", "multiway", "constraint", "profile", "starts", "objective"} {
 			fmt.Printf("\n===== %s =====\n", id)
 			if err := runners[id](); err != nil {
 				return err
@@ -135,10 +149,14 @@ var cellWorkers int
 // overlap under -workers > 1 and are only attributable serially).
 var mlStats *multilevel.PhaseStats
 
+// mlObjective is the metric every multilevel run optimizes (-objective).
+var mlObjective fm.Objective
+
 // mlConfig is the multilevel engine config the experiment sweeps run with:
-// defaults, plus the shared stats sink when -stats is set.
+// defaults, plus the -objective choice and the shared stats sink when -stats
+// is set.
 func mlConfig() multilevel.Config {
-	return multilevel.Config{Stats: mlStats}
+	return multilevel.Config{Objective: mlObjective, Stats: mlStats}
 }
 
 func figure(name string, scale float64, trials int, seed uint64) error {
@@ -307,6 +325,24 @@ func starts(scale float64, trials int, seed uint64) error {
 		return err
 	}
 	return experiments.RenderStartsRequired(os.Stdout, rows)
+}
+
+func objectiveStudy(scale float64, trials int, seed uint64) error {
+	nl, err := netlist("IBM01S", scale)
+	if err != nil {
+		return err
+	}
+	rows, err := experiments.ObjectiveStudy("IBM01S", nl.H, []int{2, 4, 8}, experiments.SweepConfig{
+		Fractions: []float64{0, 0.10, 0.30, 0.50},
+		Trials:    trials,
+		Seed:      seed,
+		Workers:   cellWorkers,
+		ML:        mlConfig(),
+	})
+	if err != nil {
+		return err
+	}
+	return experiments.RenderObjectiveStudy(os.Stdout, rows)
 }
 
 func placeNetlist(nl *gen.Netlist, seed uint64) (*place.Placement, error) {

@@ -5,10 +5,15 @@
 // Usage:
 //
 //	hpart -dir bench -base IBM01SA_L0_V [-engine ml|lifo|clip] [-starts 4]
-//	      [-kway direct|rb] [-cutoff 0.25] [-seed 1] [-workers 0]
-//	      [-coarsen-workers 1] [-shared-coarsen] [-hierarchies 2] [-stats]
-//	      [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
-//	      [-out solution.sol]
+//	      [-kway direct|rb] [-objective cut|km1] [-cutoff 0.25] [-seed 1]
+//	      [-workers 0] [-coarsen-workers 1] [-shared-coarsen]
+//	      [-hierarchies 2] [-stats] [-cpuprofile cpu.pprof]
+//	      [-memprofile mem.pprof] [-out solution.sol]
+//
+// -objective selects the metric runs optimize and the best start is chosen
+// by: "cut" (default, the paper's weighted net cut) or "km1"
+// (connectivity-minus-one). Whatever the choice, the result line reports
+// cut, km1 and soed of the winning assignment.
 //
 // With the ml engine, independent starts run on -workers goroutines
 // (0 = GOMAXPROCS); the result is identical for every worker count.
@@ -51,6 +56,7 @@ func main() {
 		base        = flag.String("base", "", "bundle base name (required)")
 		engine      = flag.String("engine", "ml", "partitioning engine: ml (multilevel CLIP), lifo or clip (flat FM)")
 		kway        = flag.String("kway", "direct", "k>2 strategy for the ml engine: direct (k-way V-cycle) or rb (recursive bisection)")
+		objective   = flag.String("objective", "cut", "metric to optimize and select by: cut or km1")
 		starts      = flag.Int("starts", 1, "independent starts; the best result is kept")
 		cutoff      = flag.Float64("cutoff", 1, "pass cutoff fraction after the first pass (1 = none)")
 		seed        = flag.Uint64("seed", 1, "random seed")
@@ -74,7 +80,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hpart:", err)
 		os.Exit(1)
 	}
-	err = run(*dir, *base, *engine, *kway, *starts, *cutoff, *seed, *workers, *coarsenW, *shared, *hierarchies, *stats, *out)
+	err = run(*dir, *base, *engine, *kway, *objective, *starts, *cutoff, *seed, *workers, *coarsenW, *shared, *hierarchies, *stats, *out)
 	stop()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hpart:", err)
@@ -82,7 +88,11 @@ func main() {
 	}
 }
 
-func run(dir, base, engine, kway string, starts int, cutoff float64, seed uint64, workers, coarsenWorkers int, shared bool, hierarchies int, stats bool, out string) error {
+func run(dir, base, engine, kway, objective string, starts int, cutoff float64, seed uint64, workers, coarsenWorkers int, shared bool, hierarchies int, stats bool, out string) error {
+	obj, err := fm.ParseObjective(objective)
+	if err != nil {
+		return err
+	}
 	p, err := bookshelf.ReadProblem(dir, base)
 	if err != nil {
 		return err
@@ -95,7 +105,7 @@ func run(dir, base, engine, kway string, starts int, cutoff float64, seed uint64
 	rng := rand.New(rand.NewPCG(seed, 0x42))
 	t0 := time.Now()
 	var best partition.Assignment
-	var cut int64
+	var score int64 // the winning assignment's value under -objective
 	var phases *multilevel.PhaseStats
 	var flatKernel fm.KernelStats
 	if stats {
@@ -106,26 +116,26 @@ func run(dir, base, engine, kway string, starts int, cutoff float64, seed uint64
 		if coarsenWorkers == 0 {
 			coarsenWorkers = runtime.GOMAXPROCS(0)
 		}
-		cfg := multilevel.Config{MaxPassFraction: passFraction(cutoff), Workers: workers, CoarsenWorkers: coarsenWorkers, Stats: phases}
+		cfg := multilevel.Config{Objective: obj, MaxPassFraction: passFraction(cutoff), Workers: workers, CoarsenWorkers: coarsenWorkers, Stats: phases}
 		switch {
 		case p.K == 2 && shared:
 			res, err := multilevel.ParallelSharedMultistart(p, cfg, starts, hierarchies, rng)
 			if err != nil {
 				return err
 			}
-			best, cut = res.Assignment, res.Cut
+			best, score = res.Assignment, res.Score
 		case p.K == 2:
 			res, err := multilevel.ParallelMultistart(p, cfg, starts, rng)
 			if err != nil {
 				return err
 			}
-			best, cut = res.Assignment, res.Cut
+			best, score = res.Assignment, res.Score
 		case kway == "direct":
 			res, err := multilevel.ParallelMultistartKWay(p, cfg, starts, rng)
 			if err != nil {
 				return err
 			}
-			best, cut = res.Assignment, res.Cut
+			best, score = res.Assignment, res.Score
 		case kway == "rb":
 			// Recursive bisection per start, then direct k-way FM polish on
 			// the full problem.
@@ -134,12 +144,12 @@ func run(dir, base, engine, kway string, starts int, cutoff float64, seed uint64
 				if err != nil {
 					return err
 				}
-				ref, err := fm.KWayPartition(p, res.Assignment, fm.Config{Policy: fm.CLIP, MaxPassFraction: passFraction(cutoff), Stats: flatStats(stats, &flatKernel)})
+				ref, err := fm.KWayPartition(p, res.Assignment, fm.Config{Policy: fm.CLIP, Objective: obj, MaxPassFraction: passFraction(cutoff), Stats: flatStats(stats, &flatKernel)})
 				if err != nil {
 					return err
 				}
-				if best == nil || ref.Cut < cut {
-					best, cut = ref.Assignment, ref.Cut
+				if best == nil || ref.Score < score {
+					best, score = ref.Assignment, ref.Score
 				}
 			}
 		default:
@@ -150,7 +160,7 @@ func run(dir, base, engine, kway string, starts int, cutoff float64, seed uint64
 		if engine == "clip" {
 			policy = fm.CLIP
 		}
-		cfg := fm.Config{Policy: policy, MaxPassFraction: passFraction(cutoff), Stats: flatStats(stats, &flatKernel)}
+		cfg := fm.Config{Policy: policy, Objective: obj, MaxPassFraction: passFraction(cutoff), Stats: flatStats(stats, &flatKernel)}
 		for s := 0; s < starts; s++ {
 			var a partition.Assignment
 			var c int64
@@ -159,7 +169,7 @@ func run(dir, base, engine, kway string, starts int, cutoff float64, seed uint64
 				if err != nil {
 					return err
 				}
-				a, c = res.Assignment, res.Cut
+				a, c = res.Assignment, res.Score
 			} else {
 				initial, err := partition.RandomFeasible(p, rng)
 				if err != nil {
@@ -169,17 +179,19 @@ func run(dir, base, engine, kway string, starts int, cutoff float64, seed uint64
 				if err != nil {
 					return err
 				}
-				a, c = res.Assignment, res.Cut
+				a, c = res.Assignment, res.Score
 			}
-			if best == nil || c < cut {
-				best, cut = a, c
+			if best == nil || c < score {
+				best, score = a, c
 			}
 		}
 	default:
 		return fmt.Errorf("unknown engine %q", engine)
 	}
-	fmt.Printf("best cut over %d start(s): %d   (%.1f ms)\n",
-		starts, cut, float64(time.Since(t0).Microseconds())/1000)
+	fmt.Printf("best %s over %d start(s): %d   (%.1f ms)\n",
+		obj, starts, score, float64(time.Since(t0).Microseconds())/1000)
+	fmt.Printf("objectives: cut=%d km1=%d soed=%d\n",
+		partition.Cut(p.H, best), partition.KMinus1(p.H, best), partition.SOED(p.H, best))
 	if stats {
 		printStats(phases, &flatKernel)
 	}

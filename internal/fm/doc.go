@@ -11,6 +11,17 @@
 // reference.go keeps a frozen pre-rewrite kernel so the counters (and the
 // results, which are bit-identical) can be compared under equal accounting.
 //
+// # Objectives
+//
+// Config.Objective selects the metric a run minimizes: ObjectiveCut (net
+// cut, the default) or ObjectiveKM1 (connectivity minus one). The kernel's
+// incremental gain arithmetic is λ−1-native — at k = 2 it coincides with
+// the classic cut gain — so both objectives follow the identical move
+// trajectory; they differ only in the reported Result.Score, which callers
+// (the multilevel multistart and V-cycle drivers) use to select among
+// candidates. ObjectiveCut runs are bit-identical to the pre-objective
+// kernel. See objective.go for the gainModel seam.
+//
 // # Concurrency
 //
 // A kernel instance (Bipartition, KWayPartition, a Scratch, and the gain

@@ -38,6 +38,10 @@ func (p Policy) String() string {
 type Config struct {
 	// Policy is the vertex-selection discipline (LIFO or CLIP).
 	Policy Policy
+	// Objective selects the gain model the kernel drives and the metric the
+	// run reports as Score (and is selected by upstream). The zero value,
+	// ObjectiveCut, reproduces the historical engine bit for bit.
+	Objective Objective
 	// MaxPassFraction, when in (0,1), imposes the paper's hard cutoff on
 	// pass length: every pass after the first makes at most
 	// max(1, fraction*movable) moves. 0 or 1 means unlimited.
@@ -91,6 +95,12 @@ type Result struct {
 	Assignment partition.Assignment
 	// Cut is the weighted cut of Assignment.
 	Cut int64
+	// Score is Assignment evaluated under the run's Objective, recomputed by
+	// definition from the final assignment. At k = 2 every objective in the
+	// family coincides with the cut, so Score == Cut.
+	Score int64
+	// Objective is the metric the run optimized (Config.Objective).
+	Objective Objective
 	// Passes holds one entry per executed pass, including the final
 	// zero-gain pass that triggered termination.
 	Passes []PassStats
@@ -111,12 +121,16 @@ func (r *Result) TotalMoves() int {
 // move ordering (LIFO/CLIP seeding, per-part gain buckets over move ids
 // v*k+t, heavier-part-first selection), the pass loop with its cutoffs, and
 // best-prefix rollback. The structural state and gain arithmetic live in the
-// embedded cutModel; for k = 2 the kernel reproduces the dedicated
-// bipartition engine move for move.
+// gain model selected by Config.Objective, driven through the gainModel
+// interface; the embedded *cutModel aliases model.core() so the hot paths
+// (Φ shifts, packed net records, bucket addressing) keep their direct field
+// access. For k = 2 under the default cut objective the kernel reproduces
+// the dedicated bipartition engine move for move.
 type kernel struct {
-	cutModel
-	cfg Config
-	sc  *Scratch
+	*cutModel
+	model gainModel
+	cfg   Config
+	sc    *Scratch
 
 	// gk interleaves the actual gain (gk[2*mid]) and the bucket key
 	// (gk[2*mid+1], == gain under LIFO, delta-only under CLIP) of each move
@@ -170,6 +184,7 @@ type kernel struct {
 type kernelResult struct {
 	a       partition.Assignment
 	obj     int64 // final (λ-1) connectivity; equals the cut when k = 2
+	score   int64 // a evaluated by the model's finalScore (the run's Objective)
 	passes  []PassStats
 	movable int
 }
@@ -203,12 +218,13 @@ func BipartitionWith(p *partition.Problem, initial partition.Assignment, cfg Con
 	}
 	e := newKernel(p, initial, cfg, sc)
 	r := e.run()
-	return &Result{Assignment: r.a, Cut: r.obj, Passes: r.passes, Movable: r.movable}, nil
+	return &Result{Assignment: r.a, Cut: r.obj, Score: r.score, Objective: cfg.Objective, Passes: r.passes, Movable: r.movable}, nil
 }
 
 func newKernel(p *partition.Problem, initial partition.Assignment, cfg Config, sc *Scratch) *kernel {
-	e := &kernel{cfg: cfg, sc: sc}
-	e.cutModel.init(p, initial, sc)
+	e := &kernel{model: newGainModel(cfg.Objective), cfg: cfg, sc: sc}
+	e.model.init(p, initial, sc)
+	e.cutModel = e.model.core()
 	e.gk = sc.gk
 	// Bucket key range: the largest possible |gain| is the max over movable
 	// vertices of the total incident net weight; CLIP deltas can reach twice
@@ -247,6 +263,7 @@ func (e *kernel) run() *kernelResult {
 	if e.nMovable == 0 {
 		res.a = e.a.Clone() // a is scratch-backed; the result must not alias it
 		res.obj = obj
+		res.score = e.model.finalScore(res.a)
 		return res
 	}
 	moveLog := e.sc.moveLog[:0]
@@ -276,6 +293,7 @@ func (e *kernel) run() *kernelResult {
 	}
 	res.a = e.a.Clone() // a is scratch-backed; the result must not alias it
 	res.obj = obj
+	res.score = e.model.finalScore(res.a)
 	return res
 }
 
@@ -312,7 +330,7 @@ func (e *kernel) runPass(limit, stall int, moveLog *[]moveRec) PassStats {
 		}
 	}
 	for i := len(log) - 1; i >= bestIdx; i-- {
-		e.undoMove(log[i].v, int(log[i].from))
+		e.model.undoMove(log[i].v, int(log[i].from))
 	}
 	*moveLog = log
 	stats := PassStats{Moves: len(log), Kept: bestIdx, Gain: bestCum}
@@ -367,13 +385,13 @@ func (e *kernel) initPass() {
 		}
 		e.locked[v] = false
 		from := int(e.a[v])
-		for _, t8 := range e.targets(int32(v)) {
+		for _, t8 := range e.model.targets(int32(v)) {
 			t := int(t8)
 			if t == from {
 				continue
 			}
 			mid := int32(v*k + t)
-			g := e.moveGain(int32(v), t)
+			g := e.model.moveGain(int32(v), t)
 			e.gk[2*mid] = g
 			if clip {
 				// sortGain is a dense per-mid copy just for the seeding
@@ -433,7 +451,7 @@ func (e *kernel) selectMove() int32 {
 			for mid := b.head[idx]; mid >= 0; mid = e.nodes.next(mid) {
 				v := mid / int32(k)
 				t := int(mid) % k
-				if e.feasibleMove(v, t) {
+				if e.model.feasibleMove(v, t) {
 					best, bestKey = mid, key
 					break
 				}
@@ -641,7 +659,7 @@ func (e *kernel) applyMove(v int32, t int) {
 		}
 	}
 	e.flushTouches()
-	e.moveVertex(v, from, t)
+	e.model.moveVertex(v, from, t)
 }
 
 // touch adjusts the gain of move id mid if it is live (present in a bucket)

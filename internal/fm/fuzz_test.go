@@ -12,12 +12,19 @@ import (
 
 // FuzzFMKernel runs the net-state-aware kernel against the frozen reference
 // (reference.go) on byte-decoded fixed-vertex problems — random k, net
-// sizes and weights, fixed/OR-region masks, multi-resource vertex weights —
-// and asserts identical final assignments, objectives, and pass statistics.
+// sizes and weights, fixed/OR-region masks, multi-resource vertex weights,
+// and a randomized objective (cut or km1) — and asserts identical final
+// assignments, objectives, and pass statistics, plus that the reported
+// Score matches an independent from-scratch partition.Cut / KMinus1
+// recomputation. The reference predates the objective layer and always
+// walks the (λ-1) trajectory, so comparing a km1 run against it also
+// enforces the documented trajectory-independence invariant.
 func FuzzFMKernel(f *testing.F) {
 	f.Add([]byte{3, 20, 1, 2, 3, 4, 5, 6, 7, 8}, uint8(0))
 	f.Add([]byte{2, 40, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0}, uint8(1))
 	f.Add([]byte{5, 33, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2}, uint8(3))
+	f.Add([]byte{4, 28, 2, 4, 6, 8, 1, 3, 5, 7}, uint8(9))
+	f.Add([]byte{3, 50, 1, 1, 2, 2, 3, 3, 4, 4}, uint8(15))
 	f.Fuzz(func(t *testing.T, data []byte, mode uint8) {
 		k := 2 + int(fu8(data, 0))%4
 		nv := 8 + int(fu8(data, 1))%56
@@ -102,6 +109,9 @@ func FuzzFMKernel(f *testing.F) {
 		if mode&4 != 0 {
 			cfg.StallCutoff = 6
 		}
+		if mode&8 != 0 {
+			cfg.Objective = fm.ObjectiveKM1
+		}
 
 		got, err := fm.KWayPartition(p, initial, cfg)
 		if err != nil {
@@ -119,6 +129,21 @@ func FuzzFMKernel(f *testing.F) {
 		}
 		if !reflect.DeepEqual(got.Passes, want.Passes) {
 			t.Fatalf("pass stats diverge:\n got %+v\nwant %+v", got.Passes, want.Passes)
+		}
+		// The reported metrics must match a from-scratch recomputation on the
+		// final assignment: Cut and KMinus1 by definition, and Score under
+		// whichever objective the run was configured with.
+		if c := partition.Cut(h, got.Assignment); got.Cut != c {
+			t.Fatalf("Cut %d != recomputed %d", got.Cut, c)
+		}
+		if l := partition.KMinus1(h, got.Assignment); got.KMinus1 != l {
+			t.Fatalf("KMinus1 %d != recomputed %d", got.KMinus1, l)
+		}
+		if got.Objective != cfg.Objective {
+			t.Fatalf("Objective echoed %v, want %v", got.Objective, cfg.Objective)
+		}
+		if s := cfg.Objective.Score(h, got.Assignment); got.Score != s {
+			t.Fatalf("objective %v: Score %d != recomputed %d", cfg.Objective, got.Score, s)
 		}
 	})
 }

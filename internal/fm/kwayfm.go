@@ -11,9 +11,15 @@ type KWayResult struct {
 	Assignment partition.Assignment
 	// Cut is the weighted net-cut of Assignment (nets spanning > 1 part).
 	Cut int64
-	// KMinus1 is the connectivity objective the engine optimizes.
+	// KMinus1 is the connectivity ledger the kernel's passes track.
 	KMinus1 int64
-	Passes  []PassStats
+	// Score is Assignment evaluated under the run's Objective (== Cut for
+	// ObjectiveCut, == KMinus1 for ObjectiveKM1), the number multistart and
+	// V-cycle drivers select by.
+	Score int64
+	// Objective is the metric the run optimized (Config.Objective).
+	Objective Objective
+	Passes    []PassStats
 	// Movable is the number of vertices with at least two allowed parts.
 	Movable int
 }
@@ -52,6 +58,8 @@ func KWayPartitionWith(p *partition.Problem, initial partition.Assignment, cfg C
 		Assignment: r.a,
 		Cut:        partition.Cut(p.H, r.a),
 		KMinus1:    r.obj,
+		Score:      r.score,
+		Objective:  cfg.Objective,
 		Passes:     r.passes,
 		Movable:    r.movable,
 	}, nil

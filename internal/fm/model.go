@@ -5,13 +5,14 @@ import (
 	"repro/internal/partition"
 )
 
-// cutModel is the part-count-generic cut model shared by every FM entry
-// point: per-net pin counts Φ(e, part), per-part multi-resource weights,
-// movability derived from partition.Mask, and the connectivity-aware move
-// gain g(v, target) — the (λ-1) delta of moving v to the target part, which
-// for k = 2 is exactly the classic FM cut gain. The model owns the state and
-// its structural invariants (apply/undo keep Φ and the weights consistent
-// with the assignment); move ordering lives in the policy layer (kernel).
+// cutModel is the cut implementation of the gainModel interface and the
+// structural base every other model embeds: per-net pin counts Φ(e, part),
+// per-part multi-resource weights, movability derived from partition.Mask,
+// and the connectivity-aware move gain g(v, target) — the (λ-1) delta of
+// moving v to the target part, which for k = 2 is exactly the classic FM cut
+// gain. The model owns the state and its structural invariants (apply/undo
+// keep Φ and the weights consistent with the assignment); move ordering
+// lives in the policy layer (kernel).
 //
 // All bulk arrays are Scratch-backed so repeated runs reuse them.
 type cutModel struct {
@@ -128,6 +129,20 @@ func (m *cutModel) init(p *partition.Problem, initial partition.Assignment, sc *
 	m.fixedLocked = sc.fixedLocked
 	m.fixedCover = sc.fixedCover
 	m.movablePins = sc.movablePins
+}
+
+// core returns the model's shared structural state: cutModel is itself the
+// base layer every gain model embeds.
+func (m *cutModel) core() *cutModel { return m }
+
+// objective names the metric finalScore computes.
+func (m *cutModel) objective() Objective { return ObjectiveCut }
+
+// finalScore evaluates the weighted net cut by definition. At k = 2 it
+// coincides with the kernel's (λ-1) pass ledger; for k > 2 the ledger tracks
+// connectivity while this reports the cut the run is selected by.
+func (m *cutModel) finalScore(a partition.Assignment) int64 {
+	return partition.Cut(m.h, a)
 }
 
 // targets returns v's allowed target parts (ascending, excluding nothing —

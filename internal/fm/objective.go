@@ -1,0 +1,129 @@
+package fm
+
+import (
+	"fmt"
+
+	"repro/internal/hypergraph"
+	"repro/internal/partition"
+)
+
+// Objective selects the quality metric an FM run optimizes and reports as
+// its Score. The zero value is ObjectiveCut, so existing configurations are
+// unchanged.
+//
+// The kernel's incremental gain algebra is the (λ-1) connectivity delta for
+// every objective in the family (see DESIGN.md "objective layer"): moving a
+// pin out of a part it covered alone gains the net weight, moving it into a
+// part the net did not touch loses it. At k = 2 that delta is exactly the
+// classic FM cut gain, and for km1 it is the connectivity gain by
+// definition, so cut and km1 runs follow byte-identical move trajectories.
+// Where the objectives diverge is scoring and selection: which number a run
+// reports as its Score, and therefore which candidate a multistart or
+// V-cycle driver keeps.
+type Objective int8
+
+const (
+	// ObjectiveCut optimizes the weighted net cut (nets spanning more than
+	// one part count once). This is the paper's objective and the default.
+	ObjectiveCut Objective = iota
+	// ObjectiveKM1 optimizes connectivity-minus-one: every net contributes
+	// weight*(λ-1) where λ is the number of parts it touches. Equal to the
+	// cut at k = 2; strictly finer-grained for k > 2.
+	ObjectiveKM1
+)
+
+// String returns the canonical flag/wire spelling ("cut", "km1").
+func (o Objective) String() string {
+	switch o {
+	case ObjectiveCut:
+		return "cut"
+	case ObjectiveKM1:
+		return "km1"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// ParseObjective parses the flag/wire spelling produced by String. The empty
+// string parses as ObjectiveCut so absent request fields keep today's
+// behavior.
+func ParseObjective(s string) (Objective, error) {
+	switch s {
+	case "", "cut":
+		return ObjectiveCut, nil
+	case "km1":
+		return ObjectiveKM1, nil
+	default:
+		return 0, fmt.Errorf("fm: unknown objective %q (want cut or km1)", s)
+	}
+}
+
+// Score computes the objective value of an assignment from scratch. It is
+// the authoritative definition each gain model's finalScore must agree with;
+// the fuzz harness cross-checks every kernel run against it.
+func (o Objective) Score(h *hypergraph.Hypergraph, a partition.Assignment) int64 {
+	if o == ObjectiveKM1 {
+		return partition.KMinus1(h, a)
+	}
+	return partition.Cut(h, a)
+}
+
+// gainModel is the objective seam of the FM engine. The kernel (policy
+// layer: buckets, pass loop, rollback) drives a model through this interface
+// and never hard-codes an objective. A model owns the structural state —
+// assignment, Φ(net, part) pin counts, part weights, movability — and the
+// from-scratch gain arithmetic; the kernel owns move ordering and the
+// incremental (λ-1) delta propagation in applyMove, which every model in the
+// current family shares (see Objective). A future model whose gain algebra
+// is not a λ-1 delta (e.g. geometry-weighted wirelength) would additionally
+// override the kernel's delta rules; the seam for that lives here.
+type gainModel interface {
+	// init sizes the model out of sc and loads the initial assignment.
+	init(p *partition.Problem, initial partition.Assignment, sc *Scratch)
+	// core exposes the shared structural state (Φ, weights, movability) the
+	// kernel's hot paths address directly.
+	core() *cutModel
+	// targets returns v's allowed target parts, ascending.
+	targets(v int32) []int8
+	// moveGain computes from scratch the gain of moving v to part t.
+	moveGain(v int32, t int) int64
+	// feasibleMove reports whether moving v to t keeps both parts balanced.
+	feasibleMove(v int32, t int) bool
+	// moveVertex commits v's part change (weights and assignment).
+	moveVertex(v int32, from, to int)
+	// undoMove structurally reverses a committed move, returning v to f.
+	undoMove(v int32, f int)
+	// finalScore evaluates the model's objective on a finished assignment,
+	// by definition (not from the pass ledger); the kernel cross-checks and
+	// reports it as the run's Score.
+	finalScore(a partition.Assignment) int64
+	// objective names the metric finalScore computes.
+	objective() Objective
+}
+
+// newGainModel returns the model implementing o. Models are Scratch-backed
+// and must be init'd before use.
+func newGainModel(o Objective) gainModel {
+	if o == ObjectiveKM1 {
+		return &km1Model{}
+	}
+	return &cutModel{}
+}
+
+// km1Model scores runs by connectivity-minus-one. It shares the cutModel's
+// structural state and gain arithmetic unchanged — the kernel's incremental
+// deltas are already the (λ-1) algebra — and differs only in what finalScore
+// measures, which is what multistart/V-cycle selection ranks by.
+type km1Model struct {
+	cutModel
+}
+
+func (m *km1Model) core() *cutModel { return &m.cutModel }
+
+func (m *km1Model) objective() Objective { return ObjectiveKM1 }
+
+// finalScore evaluates connectivity-minus-one by definition; the kernel's
+// pass ledger must arrive at the same number (fuzz-enforced).
+func (m *km1Model) finalScore(a partition.Assignment) int64 {
+	return partition.KMinus1(m.h, a)
+}

@@ -70,15 +70,15 @@ func parallelMultistartCtx(ctx context.Context, part partitionFunc, p *partition
 
 // reduceCompleted applies the serial best-of selection to the completed
 // prefix of a (possibly cancelled) multistart run: lowest-index error wins,
-// ties on cut break toward the lowest start index, and Truncated marks runs
-// that completed fewer starts than requested.
+// ties on Score break toward the lowest start index, and Truncated marks
+// runs that completed fewer starts than requested.
 func reduceCompleted(ctx context.Context, results []*Result, errs []error, requested int) (*Result, error) {
 	var best *Result
 	for i := range results {
 		if errs[i] != nil {
 			return nil, errs[i]
 		}
-		if best == nil || results[i].Cut < best.Cut {
+		if best == nil || results[i].Score < best.Score {
 			best = results[i]
 		}
 	}
@@ -148,7 +148,11 @@ func (h *Hierarchy) WithRefinement(cfg Config) *Hierarchy {
 // excluded because WithRefinement rebinds them per descent. CoarsenWorkers
 // is excluded too: it only splits the matching and contraction scans over
 // goroutines and never changes the hierarchy, so caches stay shareable
-// across clients asking for different worker counts.
+// across clients asking for different worker counts. Objective is likewise
+// excluded — coarsening is objective-independent (matching and contraction
+// never consult the metric), so a hierarchy built once may serve both cut
+// and km1 descents; any objective separation a cache wants (hpartd keys on
+// it conservatively) belongs in the cache key, not here.
 func (c Config) CoarseningFingerprint() uint64 {
 	eff := c.effective()
 	return hypergraph.NewFingerprint().

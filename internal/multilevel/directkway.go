@@ -135,8 +135,8 @@ func partitionKWayWith(p *partition.Problem, cfg Config, rng *rand.Rand, sc *fm.
 		curr = coarse
 	}
 
-	fmCfg := fm.Config{Policy: cfg.Policy, MaxPassFraction: cfg.MaxPassFraction, MaxPasses: cfg.RefineMaxPasses, Stats: kernelStats(cfg.Stats)}
-	initCfg := fm.Config{Policy: cfg.Policy, MaxPassFraction: cfg.MaxPassFraction, Stats: kernelStats(cfg.Stats)}
+	fmCfg := fm.Config{Policy: cfg.Policy, Objective: cfg.Objective, MaxPassFraction: cfg.MaxPassFraction, MaxPasses: cfg.RefineMaxPasses, Stats: kernelStats(cfg.Stats)}
+	initCfg := fm.Config{Policy: cfg.Policy, Objective: cfg.Objective, MaxPassFraction: cfg.MaxPassFraction, Stats: kernelStats(cfg.Stats)}
 
 	// Initial partitioning at the deepest level that admits a feasible start.
 	start := len(levels) - 1
@@ -153,6 +153,10 @@ func partitionKWayWith(p *partition.Problem, cfg Config, rng *rand.Rand, sc *fm.
 			if err != nil {
 				continue
 			}
+			// Initial tries have always ranked by connectivity (the kernel's
+			// pass ledger): exact for km1 and a historical, bit-identity-
+			// preserving tiebreak for cut, where the levels above re-rank
+			// completed starts by their own Score.
 			if best == nil || res.KMinus1 < best.KMinus1 {
 				best = res
 			}
@@ -191,12 +195,7 @@ func partitionKWayWith(p *partition.Problem, cfg Config, rng *rand.Rand, sc *fm.
 			}
 		}
 	}
-	return &Result{
-		Assignment: a,
-		Cut:        partition.Cut(p.H, a),
-		Levels:     len(levels) - 1,
-		Starts:     1,
-	}, nil
+	return newResult(p, a, cfg, len(levels)-1), nil
 }
 
 // kwayInitial produces one feasible k-way seed assignment for the (small)
@@ -230,7 +229,7 @@ func MultistartKWay(p *partition.Problem, cfg Config, starts int, rng *rand.Rand
 		if err != nil {
 			return nil, err
 		}
-		if best == nil || res.Cut < best.Cut {
+		if best == nil || res.Score < best.Score {
 			best = res
 		}
 	}

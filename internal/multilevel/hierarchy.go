@@ -115,11 +115,11 @@ func (h *Hierarchy) descend(rng *rand.Rand, follower bool) (*Result, error) {
 // determinism contract.
 func (h *Hierarchy) descendWith(rng *rand.Rand, follower bool, sc *fm.Scratch) (*Result, error) {
 	cfg := h.cfg
-	fmCfg := fm.Config{Policy: cfg.Policy, MaxPassFraction: cfg.MaxPassFraction, MaxPasses: cfg.RefineMaxPasses, Stats: kernelStats(cfg.Stats)}
+	fmCfg := fm.Config{Policy: cfg.Policy, Objective: cfg.Objective, MaxPassFraction: cfg.MaxPassFraction, MaxPasses: cfg.RefineMaxPasses, Stats: kernelStats(cfg.Stats)}
 	if follower {
 		fmCfg.MaxPassFraction = followerPassFraction(cfg)
 	}
-	initCfg := fm.Config{Policy: cfg.Policy, MaxPassFraction: cfg.MaxPassFraction, Stats: kernelStats(cfg.Stats)}
+	initCfg := fm.Config{Policy: cfg.Policy, Objective: cfg.Objective, MaxPassFraction: cfg.MaxPassFraction, Stats: kernelStats(cfg.Stats)}
 
 	// Initial partitioning at the deepest level that admits a feasible
 	// start; heavy clusters can make the very coarsest level infeasible, in
@@ -135,7 +135,9 @@ func (h *Hierarchy) descendWith(rng *rand.Rand, follower bool, sc *fm.Scratch) (
 				if err != nil {
 					break
 				}
-				if best == nil || res.Cut < best.Cut {
+				// At k = 2 every objective coincides with the cut, so this
+				// selection is objective-agnostic (Score == Cut here).
+				if best == nil || res.Score < best.Score {
 					best = res
 				}
 			}
@@ -165,12 +167,7 @@ func (h *Hierarchy) descendWith(rng *rand.Rand, follower bool, sc *fm.Scratch) (
 	if refineErr != nil {
 		return nil, refineErr
 	}
-	return &Result{
-		Assignment: a,
-		Cut:        partition.Cut(h.Root().H, a),
-		Levels:     len(h.levels) - 1,
-		Starts:     1,
-	}, nil
+	return newResult(h.Root(), a, cfg, len(h.levels)-1), nil
 }
 
 // followerPassFraction resolves the pass cutoff for follower descents: the

@@ -31,12 +31,7 @@ func RecursiveBisect(p *partition.Problem, cfg Config, rng *rand.Rand) (*Result,
 	if err := bisectRange(p, cfg, rng, p.H, vertexIDs, 0, p.K, out, &levels); err != nil {
 		return nil, err
 	}
-	return &Result{
-		Assignment: out,
-		Cut:        partition.Cut(p.H, out),
-		Levels:     levels,
-		Starts:     1,
-	}, nil
+	return newResult(p, out, cfg, levels), nil
 }
 
 // bisectRange assigns the vertices of sub (whose original ids are origIDs)

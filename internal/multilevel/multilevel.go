@@ -19,6 +19,13 @@ type Config struct {
 	// LIFO gives very similar results.)
 	Policy    fm.Policy
 	policySet bool
+	// Objective selects the metric the FM kernels score by and every driver
+	// selects on (multistart best-of, adaptive patience, V-cycle acceptance).
+	// The zero value, fm.ObjectiveCut, reproduces the historical engine bit
+	// for bit; fm.ObjectiveKM1 ranks candidates by connectivity-minus-one.
+	// Coarsening is objective-independent, so CoarseningFingerprint excludes
+	// this field and cached hierarchies may serve either objective.
+	Objective fm.Objective
 	// Scheme selects the coarsening algorithm (default HeavyEdge, as in the
 	// paper's engine; Hyperedge and ModifiedHyperedge are the hMetis
 	// alternatives, compared in BenchmarkCoarseningAblation).
@@ -114,10 +121,24 @@ func (c Config) validate() error {
 	return nil
 }
 
-// Result is the outcome of a multilevel run.
+// Result is the outcome of a multilevel run. Every result reports all three
+// standard hypergraph objectives of its assignment — cut, connectivity-minus-
+// one and sum-of-external-degrees — regardless of which one the run
+// optimized; Score repeats the one the config's Objective selected on.
 type Result struct {
 	Assignment partition.Assignment
 	Cut        int64
+	// KMinus1 is the connectivity-minus-one objective of Assignment.
+	KMinus1 int64
+	// SOED is the sum-of-external-degrees objective of Assignment
+	// (== KMinus1 + Cut for any assignment).
+	SOED int64
+	// Score is Assignment under the config's Objective (== Cut for
+	// fm.ObjectiveCut, == KMinus1 for fm.ObjectiveKM1); drivers select the
+	// best start by this number.
+	Score int64
+	// Objective is the metric the run optimized and Score reports.
+	Objective fm.Objective
 	// Levels is the number of coarsening levels used (0 = flat).
 	Levels int
 	// Starts is the number of independent starts contributing to this result
@@ -130,6 +151,28 @@ type Result struct {
 	// still a valid, feasible partition — but not necessarily the answer the
 	// full run would have returned.
 	Truncated bool
+}
+
+// newResult evaluates a finished assignment under all three reported
+// objectives (via the partition helpers, by definition) and fills Score from
+// the config's Objective. Every driver funnels its final assignment through
+// here, so the observability satellite — km1 and soed alongside cut in every
+// solve result — holds at every entry point.
+func newResult(p *partition.Problem, a partition.Assignment, cfg Config, levels int) *Result {
+	r := &Result{
+		Assignment: a,
+		Cut:        partition.Cut(p.H, a),
+		KMinus1:    partition.KMinus1(p.H, a),
+		SOED:       partition.SOED(p.H, a),
+		Objective:  cfg.Objective,
+		Levels:     levels,
+		Starts:     1,
+	}
+	r.Score = r.Cut
+	if cfg.Objective == fm.ObjectiveKM1 {
+		r.Score = r.KMinus1
+	}
+	return r
 }
 
 // Partition runs one start of the multilevel FM partitioner on the 2-way
@@ -179,7 +222,7 @@ func Multistart(p *partition.Problem, cfg Config, starts int, rng *rand.Rand) (*
 		if err != nil {
 			return nil, err
 		}
-		if best == nil || res.Cut < best.Cut {
+		if best == nil || res.Score < best.Score {
 			best = res
 		}
 	}
@@ -216,7 +259,7 @@ func AdaptiveMultistart(p *partition.Problem, cfg Config, maxStarts, patience in
 			return nil, err
 		}
 		used++
-		if best == nil || res.Cut < best.Cut {
+		if best == nil || res.Score < best.Score {
 			best = res
 			stale = 0
 		} else {

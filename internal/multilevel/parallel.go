@@ -16,8 +16,9 @@ import (
 //     therefore a pure function of (problem, config, baseSeed, i) — never of
 //     scheduling, worker count, or which starts run beside it.
 //   - Index-ordered selection. The best result is chosen by scanning starts
-//     in index order with a strict < on cut, so ties break toward the lowest
-//     start index exactly as the serial loop does.
+//     in index order with a strict < on Score (the configured objective), so
+//     ties break toward the lowest start index exactly as the serial loop
+//     does.
 //   - Speculative batches (adaptive mode). ParallelAdaptiveMultistart
 //     computes starts in batches of patience+workers, then *replays* the
 //     serial stopping rule over results in index order; a start only counts
@@ -93,7 +94,7 @@ func parallelMultistart(part partitionFunc, p *partition.Problem, cfg Config, st
 			// the lowest-index error preserves equivalence.
 			return nil, errs[i]
 		}
-		if best == nil || results[i].Cut < best.Cut {
+		if best == nil || results[i].Score < best.Score {
 			best = results[i]
 		}
 	}
@@ -139,7 +140,7 @@ func ParallelAdaptiveMultistart(p *partition.Problem, cfg Config, maxStarts, pat
 		}
 		res := results[used]
 		used++
-		if best == nil || res.Cut < best.Cut {
+		if best == nil || res.Score < best.Score {
 			best = res
 			stale = 0
 		} else {

@@ -107,7 +107,7 @@ func sharedMultistart(p *partition.Problem, cfg Config, starts, hierarchies, wor
 			// the lowest-index error preserves equivalence.
 			return nil, errs[i]
 		}
-		if best == nil || results[i].Cut < best.Cut {
+		if best == nil || results[i].Score < best.Score {
 			best = results[i]
 		}
 	}

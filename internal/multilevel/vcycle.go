@@ -58,7 +58,7 @@ func VCycle(p *partition.Problem, a partition.Assignment, cfg Config, rng *rand.
 		levels = append(levels, vlevel{problem: coarse, sol: coarseSol})
 	}
 
-	fmCfg := fm.Config{Policy: cfg.Policy, MaxPassFraction: cfg.MaxPassFraction, MaxPasses: cfg.RefineMaxPasses, Stats: kernelStats(cfg.Stats)}
+	fmCfg := fm.Config{Policy: cfg.Policy, Objective: cfg.Objective, MaxPassFraction: cfg.MaxPassFraction, MaxPasses: cfg.RefineMaxPasses, Stats: kernelStats(cfg.Stats)}
 	sc := fm.GetScratch()
 	defer fm.PutScratch(sc)
 	sol := levels[len(levels)-1].sol
@@ -82,16 +82,11 @@ func VCycle(p *partition.Problem, a partition.Assignment, cfg Config, rng *rand.
 			sol = project(sol, levels[lvl-1].clusterOf)
 		}
 	}
-	return &Result{
-		Assignment: sol,
-		Cut:        partition.Cut(p.H, sol),
-		Levels:     len(levels) - 1,
-		Starts:     1,
-	}, nil
+	return newResult(p, sol, cfg, len(levels)-1), nil
 }
 
 // PartitionWithVCycles runs Partition followed by up to n V-cycles, stopping
-// early when a cycle fails to improve the cut.
+// early when a cycle fails to improve the configured objective.
 func PartitionWithVCycles(p *partition.Problem, cfg Config, n int, rng *rand.Rand) (*Result, error) {
 	res, err := Partition(p, cfg, rng)
 	if err != nil {
@@ -101,7 +96,8 @@ func PartitionWithVCycles(p *partition.Problem, cfg Config, n int, rng *rand.Ran
 }
 
 // PartitionKWayWithVCycles runs PartitionKWay followed by up to n direct
-// k-way V-cycles, stopping early when a cycle fails to improve the cut.
+// k-way V-cycles, stopping early when a cycle fails to improve the
+// configured objective.
 func PartitionKWayWithVCycles(p *partition.Problem, cfg Config, n int, rng *rand.Rand) (*Result, error) {
 	res, err := PartitionKWay(p, cfg, rng)
 	if err != nil {
@@ -116,7 +112,7 @@ func vcycleLoop(p *partition.Problem, res *Result, cfg Config, n int, rng *rand.
 		if err != nil {
 			return nil, err
 		}
-		if vres.Cut >= res.Cut {
+		if vres.Score >= res.Score {
 			break
 		}
 		res = vres

@@ -22,7 +22,12 @@ import (
 
 // Config controls the placer.
 type Config struct {
-	// ML configures the multilevel partitioner used for each bisection.
+	// ML configures the multilevel partitioner used for each bisection,
+	// including ML.Objective: fm.ObjectiveKM1 makes every split minimize
+	// connectivity instead of cut, which penalizes nets straddling many
+	// regions — the partitioning-level proxy for wirelength-aware placement
+	// (bisections are k = 2 where the objectives coincide, so the choice
+	// matters on Quadrisection's 4-way splits).
 	ML multilevel.Config
 	// Tolerance is the per-bisection balance tolerance (default 0.1; looser
 	// than the paper's 2% partitioning experiments because placement splits

@@ -5,8 +5,10 @@ import (
 	"math/rand/v2"
 	"testing"
 
+	"repro/internal/fm"
 	"repro/internal/gen"
 	"repro/internal/hypergraph"
+	"repro/internal/multilevel"
 	"repro/internal/place"
 )
 
@@ -258,6 +260,52 @@ func TestPlaceQuadrisectionDeterministic(t *testing.T) {
 			if pl.X[v] != ref.X[v] || pl.Y[v] != ref.Y[v] {
 				t.Fatalf("workers=4: vertex %d diverges from workers=1", v)
 			}
+		}
+	}
+}
+
+// TestPlaceObjectiveKM1 runs the placer with the connectivity objective on
+// its 4-way quadrisection splits (where cut and km1 genuinely differ) and
+// checks the placement is valid, sane on wirelength, and deterministic
+// against itself.
+func TestPlaceObjectiveKM1(t *testing.T) {
+	nl := testNetlist(t, 400, 7)
+	fx, fy := padCoords(nl, 100, 100)
+	cfg := place.Config{
+		Width: 100, Height: 100, FixedX: fx, FixedY: fy,
+		Quadrisection: true,
+		ML:            multilevel.Config{Objective: fm.ObjectiveKM1},
+	}
+	km1, err := place.Place(nl.H, cfg, rand.New(rand.NewPCG(7, 7)))
+	if err != nil {
+		t.Fatalf("Place km1: %v", err)
+	}
+	for v := 0; v < nl.H.NumVertices(); v++ {
+		if km1.X[v] < 0 || km1.X[v] > 100 || km1.Y[v] < 0 || km1.Y[v] > 100 {
+			t.Fatalf("vertex %d at (%.1f,%.1f) outside chip", v, km1.X[v], km1.Y[v])
+		}
+		if nl.H.IsPad(v) && (km1.X[v] != fx[v] || km1.Y[v] != fy[v]) {
+			t.Errorf("pad %d moved", v)
+		}
+	}
+	cutCfg := cfg
+	cutCfg.ML.Objective = fm.ObjectiveCut
+	cut, err := place.Place(nl.H, cutCfg, rand.New(rand.NewPCG(7, 7)))
+	if err != nil {
+		t.Fatalf("Place cut: %v", err)
+	}
+	kh, ch := km1.HPWL(), cut.HPWL()
+	t.Logf("HPWL: km1-objective %.0f, cut-objective %.0f", kh, ch)
+	if kh > 1.5*ch {
+		t.Errorf("km1-objective HPWL %.0f more than 1.5x cut-objective's %.0f", kh, ch)
+	}
+	again, err := place.Place(nl.H, cfg, rand.New(rand.NewPCG(7, 7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < nl.H.NumVertices(); v++ {
+		if km1.X[v] != again.X[v] || km1.Y[v] != again.Y[v] {
+			t.Fatalf("km1 placement not reproducible at vertex %d", v)
 		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sort"
 
+	"repro/internal/fm"
 	"repro/internal/gen"
 	"repro/internal/hypergraph"
 	"repro/internal/multilevel"
@@ -50,6 +51,12 @@ type Request struct {
 	Hierarchies int `json:"hierarchies,omitempty"`
 	// Policy selects the FM discipline: "clip" (default) or "lifo".
 	Policy string `json:"policy,omitempty"`
+	// Objective selects the metric the run optimizes and selects starts by:
+	// "cut" (default, the paper's weighted net cut) or "km1"
+	// (connectivity-minus-one). Whatever the choice, the response reports
+	// cut, km1 and soed of the winning assignment. Cut and km1 requests
+	// never share hierarchy-cache entries (the key covers the objective).
+	Objective string `json:"objective,omitempty"`
 	// Cutoff applies the paper's pass-length cutoff fraction to refinement
 	// (0 or 1 disables).
 	Cutoff float64 `json:"cutoff,omitempty"`
@@ -118,8 +125,14 @@ type Response struct {
 	K        int    `json:"k"`
 	Fixed    int    `json:"fixed"`
 
-	Cut        int64 `json:"cut"`
-	Assignment []int `json:"assignment"`
+	// Cut, KMinus1 and SOED report the three standard objectives of the
+	// winning assignment, whichever one the run optimized; Objective echoes
+	// the effective choice ("cut" or "km1").
+	Cut        int64  `json:"cut"`
+	KMinus1    int64  `json:"km1"`
+	SOED       int64  `json:"soed"`
+	Objective  string `json:"objective"`
+	Assignment []int  `json:"assignment"`
 	// Starts is the number of descents that actually completed;
 	// RequestedStarts what the request asked for.
 	Starts          int  `json:"starts"`
@@ -166,6 +179,9 @@ func (r Request) withDefaults(cfg Config) Request {
 	if r.Policy == "" {
 		r.Policy = "clip"
 	}
+	if r.Objective == "" {
+		r.Objective = "cut"
+	}
 	if r.Seed == 0 {
 		r.Seed = 1
 	}
@@ -201,6 +217,9 @@ func (r Request) validate(cfg Config) error {
 	}
 	if r.Policy != "clip" && r.Policy != "lifo" {
 		return fmt.Errorf("unknown policy %q (want clip or lifo)", r.Policy)
+	}
+	if _, err := fm.ParseObjective(r.Objective); err != nil {
+		return fmt.Errorf("unknown objective %q (want cut or km1)", r.Objective)
 	}
 	if r.Cutoff < 0 || r.Cutoff > 1 {
 		return fmt.Errorf("cutoff %v outside [0, 1]", r.Cutoff)
@@ -265,14 +284,19 @@ func (e errTooLarge) Error() string { return e.msg }
 // itself, keeping hierarchy construction a pure function of the key.
 // coarsen_workers is deliberately absent: it never changes the hierarchies
 // (CoarseningFingerprint excludes it for the same reason), so entries built
-// at any worker count serve every request.
+// at any worker count serve every request. The objective IS in the key,
+// conservatively: coarsening never consults it (CoarseningFingerprint
+// excludes it), but separating cut and km1 entries keeps every cached
+// answer trivially attributable to one objective's request stream.
 func (r Request) cacheKey(prob *partition.Problem) string {
+	obj, _ := fm.ParseObjective(r.Objective)
 	f := hypergraph.NewFingerprint().
 		Word(uint64(r.K)).
 		Word(uint64(int64(r.Tolerance * 1e9))).
 		Word(uint64(int64(r.FixFraction * 1e9))).
 		Word(r.FixSeed).
 		Word(uint64(r.Hierarchies)).
+		Word(uint64(obj)).
 		Word(multilevel.Config{}.CoarseningFingerprint())
 	for _, fx := range r.Fixed {
 		f = f.Word(uint64(fx.Vertex))

@@ -22,9 +22,10 @@ var latencyBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.2
 // updated either atomically or under the map mutex, so any number of request
 // goroutines may record concurrently while /metrics renders.
 type metrics struct {
-	mu       sync.Mutex
-	requests map[string]int64 // "endpoint|code" -> count
-	rejected map[string]int64 // reason -> count
+	mu        sync.Mutex
+	requests  map[string]int64 // "endpoint|code" -> count
+	rejected  map[string]int64 // reason -> count
+	objective map[string]int64 // objective name -> completed runs
 
 	// Partition-request latency histogram (len(latencyBuckets)+1 slots,
 	// the last one the +Inf bucket).
@@ -49,9 +50,10 @@ type metrics struct {
 
 func newMetrics() *metrics {
 	return &metrics{
-		requests: make(map[string]int64),
-		rejected: make(map[string]int64),
-		buckets:  make([]int64, len(latencyBuckets)+1),
+		requests:  make(map[string]int64),
+		rejected:  make(map[string]int64),
+		objective: make(map[string]int64),
+		buckets:   make([]int64, len(latencyBuckets)+1),
 	}
 }
 
@@ -80,11 +82,14 @@ func (m *metrics) observeRejected(reason string) {
 }
 
 // observeRun folds one completed partition run into the aggregate engine
-// counters: starts actually executed, truncation, the effective coarsening
-// worker count, and the per-phase wall time and FM-kernel work the run
-// recorded in its private PhaseStats.
-func (m *metrics) observeRun(res *multilevel.Result, phases *multilevel.PhaseStats, coarsenWorkers int) {
+// counters: starts actually executed, truncation, the objective optimized,
+// the effective coarsening worker count, and the per-phase wall time and
+// FM-kernel work the run recorded in its private PhaseStats.
+func (m *metrics) observeRun(res *multilevel.Result, phases *multilevel.PhaseStats, coarsenWorkers int, objective string) {
 	atomic.AddInt64(&m.starts, int64(res.Starts))
+	m.mu.Lock()
+	m.objective[objective]++
+	m.mu.Unlock()
 	atomic.StoreInt64(&m.coarsenWorkers, int64(coarsenWorkers))
 	if res.Truncated {
 		atomic.AddInt64(&m.truncated, 1)
@@ -127,11 +132,25 @@ func (m *metrics) writeTo(w io.Writer, cache cacheStats) {
 	for _, k := range rkeys {
 		rejected[k] = m.rejected[k]
 	}
+	okeys := make([]string, 0, len(m.objective))
+	for k := range m.objective {
+		okeys = append(okeys, k)
+	}
+	sort.Strings(okeys)
+	objective := make(map[string]int64, len(m.objective))
+	for _, k := range okeys {
+		objective[k] = m.objective[k]
+	}
 	m.mu.Unlock()
 
 	head("hpartd_rejected_total", "Requests rejected by admission control, by reason.", "counter")
 	for _, k := range rkeys {
 		fmt.Fprintf(w, "hpartd_rejected_total{reason=%q} %d\n", k, rejected[k])
+	}
+
+	head("hpartd_objective_runs_total", "Completed partition runs, by optimized objective.", "counter")
+	for _, k := range okeys {
+		fmt.Fprintf(w, "hpartd_objective_runs_total{objective=%q} %d\n", k, objective[k])
 	}
 
 	head("hpartd_request_duration_seconds", "Partition request latency.", "histogram")

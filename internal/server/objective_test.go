@@ -1,0 +1,103 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestPartitionObjectiveEcho: the effective objective is echoed in the
+// response (defaulting to cut), and every response reports cut, km1 and soed
+// with the documented identity soed = cut + km1.
+func TestPartitionObjectiveEcho(t *testing.T) {
+	s := New(Config{})
+	_, def := post(t, s.Handler(), presetBody(""))
+	if def == nil {
+		t.Fatal("default request failed")
+	}
+	if def.Objective != "cut" {
+		t.Errorf("default objective %q, want cut", def.Objective)
+	}
+	_, km1 := post(t, s.Handler(), presetBody(`"objective":"km1"`))
+	if km1 == nil {
+		t.Fatal("km1 request failed")
+	}
+	if km1.Objective != "km1" {
+		t.Errorf("objective %q, want km1", km1.Objective)
+	}
+	for _, resp := range []*Response{def, km1} {
+		if resp.SOED != resp.Cut+resp.KMinus1 {
+			t.Errorf("objective %s: soed %d != cut %d + km1 %d", resp.Objective, resp.SOED, resp.Cut, resp.KMinus1)
+		}
+		// k = 2: every net spans at most 2 parts, so km1 == cut.
+		if resp.KMinus1 != resp.Cut {
+			t.Errorf("objective %s: k=2 km1 %d != cut %d", resp.Objective, resp.KMinus1, resp.Cut)
+		}
+	}
+}
+
+// TestPartitionObjectiveCacheSeparation: cut and km1 requests must not share
+// hierarchy-cache entries — the objective is part of the cache key.
+func TestPartitionObjectiveCacheSeparation(t *testing.T) {
+	s := New(Config{})
+	_, cut := post(t, s.Handler(), presetBody(`"objective":"cut"`))
+	_, km1 := post(t, s.Handler(), presetBody(`"objective":"km1"`))
+	if cut == nil || km1 == nil {
+		t.Fatal("request failed")
+	}
+	if cut.Cache != "miss" || km1.Cache != "miss" {
+		t.Errorf("cache kinds %q/%q, want miss/miss (objectives must not share entries)", cut.Cache, km1.Cache)
+	}
+	st := s.cache.stats()
+	if st.Misses != 2 || st.Hits != 0 {
+		t.Errorf("cache stats misses=%d hits=%d, want 2/0", st.Misses, st.Hits)
+	}
+	// A repeated km1 request hits its own entry.
+	_, warm := post(t, s.Handler(), presetBody(`"objective":"km1"`))
+	if warm == nil || warm.Cache != "hit" {
+		t.Fatalf("repeated km1 request cache=%v, want hit", warm)
+	}
+	if warm.Cut != km1.Cut || warm.KMinus1 != km1.KMinus1 {
+		t.Errorf("warm km1 answer (cut %d, km1 %d) != cold (cut %d, km1 %d)",
+			warm.Cut, warm.KMinus1, km1.Cut, km1.KMinus1)
+	}
+	// An explicit "cut" body and an absent objective share one entry: both
+	// resolve to the same effective objective and therefore the same key.
+	_, absent := post(t, s.Handler(), presetBody(""))
+	if absent == nil || absent.Cache != "hit" {
+		t.Fatalf("defaulted-cut request cache=%v, want hit on the explicit-cut entry", absent)
+	}
+}
+
+// TestPartitionObjectiveValidation: unknown objectives are rejected with 400.
+func TestPartitionObjectiveValidation(t *testing.T) {
+	s := New(Config{})
+	rec, _ := post(t, s.Handler(), presetBody(`"objective":"wirelength"`))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "objective") {
+		t.Errorf("error body does not name the objective field: %s", rec.Body.String())
+	}
+}
+
+// TestMetricsObjectiveRuns: completed runs are counted per objective.
+func TestMetricsObjectiveRuns(t *testing.T) {
+	s := New(Config{})
+	post(t, s.Handler(), presetBody(""))
+	post(t, s.Handler(), presetBody(`"objective":"km1"`))
+	post(t, s.Handler(), presetBody(`"objective":"km1"`))
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	body := rec.Body.String()
+	for _, want := range []string{
+		`hpartd_objective_runs_total{objective="cut"} 1`,
+		`hpartd_objective_runs_total{objective="km1"} 2`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

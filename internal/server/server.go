@@ -306,7 +306,9 @@ func (s *Server) retryAfterSec() int {
 // or a status code and message for the error path.
 func (s *Server) run(ctx context.Context, req Request) (*Response, int, string) {
 	phases := &multilevel.PhaseStats{}
+	objective, _ := fm.ParseObjective(req.Objective) // validated on admission
 	mlCfg := multilevel.Config{
+		Objective:       objective,
 		MaxPassFraction: passFraction(req.Cutoff),
 		RefineMaxPasses: req.RefinePasses,
 		Workers:         req.Workers,
@@ -385,7 +387,7 @@ func (s *Server) run(ctx context.Context, req Request) (*Response, int, string) 
 		}
 		return nil, http.StatusUnprocessableEntity, err.Error()
 	}
-	s.metrics.observeRun(res, phases, req.CoarsenWorkers)
+	s.metrics.observeRun(res, phases, req.CoarsenWorkers, objective.String())
 	if ferr := prob.Feasible(res.Assignment); ferr != nil {
 		return nil, http.StatusInternalServerError, "internal error: infeasible result: " + ferr.Error()
 	}
@@ -402,6 +404,9 @@ func (s *Server) run(ctx context.Context, req Request) (*Response, int, string) 
 		K:               prob.K,
 		Fixed:           prob.NumFixed(),
 		Cut:             res.Cut,
+		KMinus1:         res.KMinus1,
+		SOED:            res.SOED,
+		Objective:       objective.String(),
 		Assignment:      assignment,
 		Starts:          res.Starts,
 		RequestedStarts: req.Starts,
