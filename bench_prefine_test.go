@@ -1,0 +1,239 @@
+package repro
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/multilevel"
+	"repro/internal/partition"
+)
+
+// BenchmarkParallelRefine measures the synchronous-round parallel refinement
+// stage (Config.RefineWorkers) end to end on million-cell instances, one row
+// per worker count in {1, 2, 4, 8} plus a serial-only baseline
+// (RefineWorkers=0, the pre-stage pipeline). Coarsening is paid once per
+// instance and shared by every row through Hierarchy.WithRefinement, so the
+// rows time exactly what the stage changes: the refinement phase
+// (refine_parallel_ns + refine_ns) of a full descent.
+//
+// Every worker row is verified bit-identical to the workers=1 row — cut, km1
+// and assignment — before its timing counts; the determinism checks run
+// unconditionally on every host. Quality is bounded against the serial-only
+// baseline: each row's cut and km1 must stay within 5% on its single descent
+// (the statistical 2%-of-mean bar over 40 trials lives in
+// internal/multilevel's TestRefineWorkersDifferentialQuality).
+//
+// Environment knobs:
+//
+//	REPRO_PREFINE_PRESET  comma-separated instance presets
+//	                      (default "HUGE1,HUGE2")
+//	REPRO_PREFINE_SCALE   preset scale factor (default 1.0; CI smoke-tests a
+//	                      reduced scale)
+//
+// As in BenchmarkParallelCoarsen, rows raise GOMAXPROCS toward the worker
+// count but never past runtime.NumCPU(), so a row either measures real
+// scaling or bounded goroutine overhead. The first run writes
+// BENCH_prefine.json (num_cpu recorded) and enforces the speedup bars the
+// host can support: the refinement phase at 8 workers must be >= 3x faster
+// than the serial-only baseline given 8 cores, >= 2x given 4, >= 1.2x given
+// 2; hosts without spare cores instead bound every row's refinement time to
+// 2x the serial-only baseline (the propose/resolve rounds do real extra
+// snapshot and merge work that only pays off once workers get their own
+// cores).
+func BenchmarkParallelRefine(b *testing.B) {
+	presets := strings.Split(envStr("REPRO_PREFINE_PRESET", "HUGE1,HUGE2"), ",")
+	scale := envFloat("REPRO_PREFINE_SCALE", 1.0)
+	workerCounts := []int{1, 2, 4, 8}
+
+	// descend runs one full descent of h at the given RefineWorkers count and
+	// reports the result, the refinement-phase nanoseconds (rounds + serial
+	// polish), and the GOMAXPROCS it ran under. The RNG is fixed so every
+	// descent draws the identical stream.
+	descend := func(b *testing.B, h *multilevel.Hierarchy, workers int) (*multilevel.Result, prefinePhases, int) {
+		procs := runtime.GOMAXPROCS(0)
+		if target := min(workers, runtime.NumCPU()); target > procs {
+			prev := runtime.GOMAXPROCS(target)
+			defer runtime.GOMAXPROCS(prev)
+			procs = target
+		}
+		phases := &multilevel.PhaseStats{}
+		res, err := h.WithRefinement(multilevel.Config{RefineWorkers: workers, Stats: phases}).
+			Descend(rand.New(rand.NewPCG(131, 7)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res, prefinePhases{Rounds: phases.RefineParallelNS, Polish: phases.RefineNS}, procs
+	}
+
+	build := func(b *testing.B, preset string) (*multilevel.Hierarchy, *partition.Problem) {
+		nl := mustNetlist(b, preset, scale)
+		p := partition.NewBipartition(nl.H, 0.02)
+		h, err := multilevel.BuildHierarchy(p, multilevel.Config{CoarsenWorkers: min(8, runtime.NumCPU())}, rand.New(rand.NewPCG(31, 41)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return h, p
+	}
+
+	for _, preset := range presets {
+		h, _ := build(b, preset)
+		for _, workers := range append([]int{0}, workerCounts...) {
+			b.Run(fmt.Sprintf("%s/workers=%d", preset, workers), func(b *testing.B) {
+				var ph prefinePhases
+				for i := 0; i < b.N; i++ {
+					_, ph, _ = descend(b, h, workers)
+				}
+				b.ReportMetric(float64(ph.Rounds+ph.Polish)/1e6, "refine-ms")
+			})
+		}
+	}
+
+	prefineBaselineOnce.Do(func() {
+		base := prefineBaseline{
+			Scale:      scale,
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		}
+		for _, preset := range presets {
+			h, p := build(b, preset)
+			inst := prefineInstance{
+				Instance: preset,
+				Vertices: p.H.NumVertices(),
+				Nets:     p.H.NumNets(),
+				Pins:     p.H.NumPins(),
+				Levels:   h.Levels(),
+			}
+			serial, sph, _ := descend(b, h, 0)
+			inst.SerialRefineNS = sph.Polish
+			inst.SerialCut = serial.Cut
+			inst.SerialKM1 = serial.KMinus1
+
+			var refCut, refKM1 int64
+			var refAssign partition.Assignment
+			for _, workers := range workerCounts {
+				res, ph, procs := descend(b, h, workers)
+				if workers == workerCounts[0] {
+					refCut, refKM1, refAssign = res.Cut, res.KMinus1, res.Assignment
+				} else {
+					// The determinism contract, enforced on every host: every
+					// worker count must reproduce the workers=1 answer bit for
+					// bit.
+					if res.Cut != refCut || res.KMinus1 != refKM1 {
+						b.Errorf("%s workers=%d: cut/km1 %d/%d != workers=1 %d/%d (determinism contract broken)",
+							preset, workers, res.Cut, res.KMinus1, refCut, refKM1)
+					}
+					for v := range refAssign {
+						if res.Assignment[v] != refAssign[v] {
+							b.Errorf("%s workers=%d: assignment diverges from workers=1 at vertex %d", preset, workers, v)
+							break
+						}
+					}
+				}
+				// Single-descent quality sanity bound against serial-only.
+				if float64(res.Cut) > 1.05*float64(inst.SerialCut) {
+					b.Errorf("%s workers=%d: cut %d exceeds serial-only %d by more than 5%%",
+						preset, workers, res.Cut, inst.SerialCut)
+				}
+				if float64(res.KMinus1) > 1.05*float64(inst.SerialKM1) {
+					b.Errorf("%s workers=%d: km1 %d exceeds serial-only %d by more than 5%%",
+						preset, workers, res.KMinus1, inst.SerialKM1)
+				}
+				refineNS := ph.Rounds + ph.Polish
+				inst.Rows = append(inst.Rows, prefineSample{
+					Workers:    workers,
+					GOMAXPROCS: procs,
+					RoundsNS:   ph.Rounds,
+					PolishNS:   ph.Polish,
+					RefineNS:   refineNS,
+					Speedup:    float64(inst.SerialRefineNS) / float64(refineNS),
+					Cut:        res.Cut,
+					KMinus1:    res.KMinus1,
+				})
+			}
+
+			// Speedup bars scale with the cores the host can actually grant;
+			// without spare cores the rows bound pure round overhead instead.
+			row8 := inst.Rows[len(inst.Rows)-1]
+			switch {
+			case base.NumCPU >= 8 && row8.Speedup < 3.0:
+				b.Errorf("%s: refine speedup at 8 workers %.2fx below the 3x bar on %d cores (serial-only %.1fms vs %.1fms)",
+					preset, row8.Speedup, base.NumCPU, float64(inst.SerialRefineNS)/1e6, float64(row8.RefineNS)/1e6)
+			case base.NumCPU >= 4 && base.NumCPU < 8 && row8.Speedup < 2.0:
+				b.Errorf("%s: refine speedup at 8 workers %.2fx below the 2x bar on %d cores", preset, row8.Speedup, base.NumCPU)
+			case base.NumCPU >= 2 && base.NumCPU < 4 && row8.Speedup < 1.2:
+				b.Errorf("%s: refine speedup at 8 workers %.2fx below the 1.2x bar on %d cores", preset, row8.Speedup, base.NumCPU)
+			case base.NumCPU == 1:
+				for _, row := range inst.Rows {
+					if float64(row.RefineNS) > 2.0*float64(inst.SerialRefineNS) {
+						b.Errorf("%s workers=%d refinement %.1fms exceeds the 2x overhead bound over serial-only %.1fms on one core",
+							preset, row.Workers, float64(row.RefineNS)/1e6, float64(inst.SerialRefineNS)/1e6)
+					}
+				}
+			}
+			base.Instances = append(base.Instances, inst)
+		}
+
+		buf, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_prefine.json", append(buf, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+		for _, inst := range base.Instances {
+			row8 := inst.Rows[len(inst.Rows)-1]
+			fmt.Printf("wrote BENCH_prefine.json row (%s@%g, serial-only refine %.1fms, 8-worker speedup %.2fx on %d cores, cut %d vs serial %d)\n",
+				inst.Instance, scale, float64(inst.SerialRefineNS)/1e6, row8.Speedup, base.NumCPU, row8.Cut, inst.SerialCut)
+		}
+	})
+}
+
+var prefineBaselineOnce sync.Once
+
+// prefinePhases splits one descent's refinement phase: Rounds is the parallel
+// round stage (refine_parallel_ns), Polish the serial FM passes (refine_ns).
+type prefinePhases struct {
+	Rounds, Polish int64
+}
+
+// prefineBaseline is the schema of BENCH_prefine.json. Per instance,
+// serial_refine_ns is the refinement phase of the RefineWorkers=0 pipeline
+// (the quality and speed baseline) and each row's speedup is that divided by
+// the row's rounds+polish refinement time; num_cpu records how many real
+// cores the rows could use, which is what the speedup bars (and the CI smoke
+// assertion) condition on.
+type prefineBaseline struct {
+	Scale      float64           `json:"scale"`
+	NumCPU     int               `json:"num_cpu"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Instances  []prefineInstance `json:"instances"`
+}
+
+type prefineInstance struct {
+	Instance       string          `json:"instance"`
+	Vertices       int             `json:"vertices"`
+	Nets           int             `json:"nets"`
+	Pins           int             `json:"pins"`
+	Levels         int             `json:"levels"`
+	SerialRefineNS int64           `json:"serial_refine_ns"`
+	SerialCut      int64           `json:"serial_cut"`
+	SerialKM1      int64           `json:"serial_km1"`
+	Rows           []prefineSample `json:"rows"`
+}
+
+type prefineSample struct {
+	Workers    int     `json:"workers"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	RoundsNS   int64   `json:"rounds_ns"`
+	PolishNS   int64   `json:"polish_ns"`
+	RefineNS   int64   `json:"refine_ns"`
+	Speedup    float64 `json:"speedup"`
+	Cut        int64   `json:"cut"`
+	KMinus1    int64   `json:"km1"`
+}

@@ -6,8 +6,9 @@
 //	experiments -exp table1|fig1|fig2|table2|table3|table4|multiway|
 //	                 constraint|profile|starts|objective|all
 //	            [-scale 0.25] [-trials 10] [-seed 1] [-workers 0]
-//	            [-objective cut|km1] [-stats] [-csv sweep.csv]
-//	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	            [-refine-workers 0] [-objective cut|km1] [-stats]
+//	            [-csv sweep.csv] [-cpuprofile cpu.pprof]
+//	            [-memprofile mem.pprof]
 //
 // The experiment ids beyond the paper's tables and figures are the extension
 // studies: constraint (constraint-strength sweep), profile (within-pass gain
@@ -22,8 +23,14 @@
 // Independent experiment cells run on -workers goroutines (0 = GOMAXPROCS);
 // results are identical for every worker count.
 //
+// -refine-workers > 0 enables the deterministic synchronous-round parallel
+// refinement stage inside every multilevel run of the sweeps (counts >= 1
+// are bit-identical to each other). The default 0 keeps the serial-only
+// refinement the published study numbers were produced with — turning the
+// stage on changes the exact cuts, not just wall-clock.
+//
 // -cpuprofile/-memprofile write pprof profiles of the whole run; multilevel
-// phases carry pprof labels (phase=coarsen|init|refine) for -tagfocus.
+// phases carry pprof labels (phase=coarsen|init|refine_parallel|refine) for -tagfocus.
 //
 // CPU numbers are host wall-clock; the paper's were measured on 1990s Sun
 // hardware, so only relative comparisons are meaningful.
@@ -54,6 +61,7 @@ func main() {
 		trials     = flag.Int("trials", 10, "trials per data point (paper: 50)")
 		seed       = flag.Uint64("seed", 1, "random seed")
 		workers    = flag.Int("workers", 0, "goroutines for independent cells (0 = GOMAXPROCS)")
+		refineW    = flag.Int("refine-workers", 0, "parallel-refinement workers per descent (0 keeps the study's serial-only refinement; counts >= 1 are bit-identical)")
 		csvOut     = flag.String("csv", "", "also write fig1/fig2 sweep data as CSV to this file")
 		stats      = flag.Bool("stats", false, "print per-phase timings and FM kernel work counters after the run")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -62,6 +70,7 @@ func main() {
 	flag.Parse()
 	csvPath = *csvOut
 	cellWorkers = *workers
+	refineWorkers = *refineW
 	var err error
 	mlObjective, err = fm.ParseObjective(*objective)
 	if err != nil {
@@ -143,6 +152,10 @@ var csvPath string
 // cellWorkers bounds the goroutines running independent experiment cells.
 var cellWorkers int
 
+// refineWorkers is the -refine-workers override threaded into every
+// SweepConfig (0 = serial-only refinement, the study default).
+var refineWorkers int
+
 // mlStats, when -stats is set, accumulates phase timings and FM kernel work
 // counters across every multilevel run of the experiments (updated
 // atomically, so concurrent cells are safe; the per-phase wall-clock numbers
@@ -165,10 +178,11 @@ func figure(name string, scale float64, trials int, seed uint64) error {
 		return err
 	}
 	res, err := experiments.RunSweep(name, nl.H, experiments.SweepConfig{
-		Trials:  trials,
-		Seed:    seed,
-		Workers: cellWorkers,
-		ML:      mlConfig(),
+		Trials:        trials,
+		Seed:          seed,
+		Workers:       cellWorkers,
+		RefineWorkers: refineWorkers,
+		ML:            mlConfig(),
 	})
 	if err != nil {
 		return err
@@ -262,11 +276,12 @@ func multiway(scale float64, trials int, seed uint64) error {
 		return err
 	}
 	rows, err := experiments.MultiwaySweep("IBM01S", nl.H, 4, experiments.SweepConfig{
-		Fractions: []float64{0, 0.05, 0.10, 0.20, 0.30, 0.50},
-		Trials:    trials,
-		Seed:      seed,
-		Workers:   cellWorkers,
-		ML:        mlConfig(),
+		Fractions:     []float64{0, 0.05, 0.10, 0.20, 0.30, 0.50},
+		Trials:        trials,
+		Seed:          seed,
+		Workers:       cellWorkers,
+		RefineWorkers: refineWorkers,
+		ML:            mlConfig(),
 	})
 	if err != nil {
 		return err
@@ -280,11 +295,12 @@ func constraint(scale float64, trials int, seed uint64) error {
 		return err
 	}
 	rows, err := experiments.ConstraintStudy("IBM01S", nl.H, experiments.SweepConfig{
-		Fractions: []float64{0, 0.05, 0.10, 0.20, 0.30, 0.50},
-		Trials:    trials,
-		Seed:      seed,
-		Workers:   cellWorkers,
-		ML:        mlConfig(),
+		Fractions:     []float64{0, 0.05, 0.10, 0.20, 0.30, 0.50},
+		Trials:        trials,
+		Seed:          seed,
+		Workers:       cellWorkers,
+		RefineWorkers: refineWorkers,
+		ML:            mlConfig(),
 	})
 	if err != nil {
 		return err
@@ -315,11 +331,12 @@ func starts(scale float64, trials int, seed uint64) error {
 		return err
 	}
 	rows, err := experiments.StartsRequired("IBM01S", nl.H, experiments.SweepConfig{
-		Fractions: []float64{0, 0.05, 0.10, 0.20, 0.30, 0.50},
-		Trials:    trials,
-		Seed:      seed,
-		Workers:   cellWorkers,
-		ML:        mlConfig(),
+		Fractions:     []float64{0, 0.05, 0.10, 0.20, 0.30, 0.50},
+		Trials:        trials,
+		Seed:          seed,
+		Workers:       cellWorkers,
+		RefineWorkers: refineWorkers,
+		ML:            mlConfig(),
 	})
 	if err != nil {
 		return err
@@ -333,11 +350,12 @@ func objectiveStudy(scale float64, trials int, seed uint64) error {
 		return err
 	}
 	rows, err := experiments.ObjectiveStudy("IBM01S", nl.H, []int{2, 4, 8}, experiments.SweepConfig{
-		Fractions: []float64{0, 0.10, 0.30, 0.50},
-		Trials:    trials,
-		Seed:      seed,
-		Workers:   cellWorkers,
-		ML:        mlConfig(),
+		Fractions:     []float64{0, 0.10, 0.30, 0.50},
+		Trials:        trials,
+		Seed:          seed,
+		Workers:       cellWorkers,
+		RefineWorkers: refineWorkers,
+		ML:            mlConfig(),
 	})
 	if err != nil {
 		return err

@@ -6,8 +6,8 @@
 //
 //	hpart -dir bench -base IBM01SA_L0_V [-engine ml|lifo|clip] [-starts 4]
 //	      [-kway direct|rb] [-objective cut|km1] [-cutoff 0.25] [-seed 1]
-//	      [-workers 0] [-coarsen-workers 1] [-shared-coarsen]
-//	      [-hierarchies 2] [-stats] [-cpuprofile cpu.pprof]
+//	      [-workers 0] [-coarsen-workers 1] [-refine-workers 1]
+//	      [-shared-coarsen] [-hierarchies 2] [-stats] [-cpuprofile cpu.pprof]
 //	      [-memprofile mem.pprof] [-out solution.sol]
 //
 // -objective selects the metric runs optimize and the best start is chosen
@@ -21,6 +21,12 @@
 // heavy-edge matching and contraction — on top of that (default 1, serial;
 // 0 = GOMAXPROCS). It too never changes results: hierarchies, cuts and
 // fingerprints are bit-identical for every value.
+// -refine-workers (ml engine) enables the deterministic synchronous-round
+// parallel refinement stage inside each descent (default 1: stage on;
+// 0 disables it, restoring serial-only refinement; 0 < n clamps to
+// GOMAXPROCS). Every count >= 1 returns bit-identical results; turning the
+// stage on at all selects a different — typically faster, comparably good —
+// move sequence than serial-only refinement.
 // -shared-coarsen (2-way bundles only) amortises coarsening across starts:
 // -hierarchies owner starts build and fully refine private hierarchies, the
 // remaining starts resample those hierarchies as cheap pass-cutoff follower
@@ -31,7 +37,7 @@
 // k-way FM polish.
 //
 // -cpuprofile/-memprofile write pprof profiles of the whole run; multilevel
-// phases carry pprof labels (phase=coarsen|init|refine), so
+// phases carry pprof labels (phase=coarsen|init|refine_parallel|refine), so
 // `go tool pprof -tagfocus phase=refine cpu.pprof` isolates one phase.
 package main
 
@@ -62,6 +68,7 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "random seed")
 		workers     = flag.Int("workers", 0, "goroutines for parallel multistart (0 = GOMAXPROCS)")
 		coarsenW    = flag.Int("coarsen-workers", 1, "goroutines inside each coarsening descent (0 = GOMAXPROCS; never changes results)")
+		refineW     = flag.Int("refine-workers", 1, "parallel-refinement workers per descent (0 disables the round stage; counts >= 1 are bit-identical; clamped to GOMAXPROCS)")
 		shared      = flag.Bool("shared-coarsen", false, "share coarsening hierarchies across ml starts (2-way only)")
 		hierarchies = flag.Int("hierarchies", 2, "shared hierarchies to build with -shared-coarsen")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -80,7 +87,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hpart:", err)
 		os.Exit(1)
 	}
-	err = run(*dir, *base, *engine, *kway, *objective, *starts, *cutoff, *seed, *workers, *coarsenW, *shared, *hierarchies, *stats, *out)
+	err = run(*dir, *base, *engine, *kway, *objective, *starts, *cutoff, *seed, *workers, *coarsenW, *refineW, *shared, *hierarchies, *stats, *out)
 	stop()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hpart:", err)
@@ -88,7 +95,7 @@ func main() {
 	}
 }
 
-func run(dir, base, engine, kway, objective string, starts int, cutoff float64, seed uint64, workers, coarsenWorkers int, shared bool, hierarchies int, stats bool, out string) error {
+func run(dir, base, engine, kway, objective string, starts int, cutoff float64, seed uint64, workers, coarsenWorkers, refineWorkers int, shared bool, hierarchies int, stats bool, out string) error {
 	obj, err := fm.ParseObjective(objective)
 	if err != nil {
 		return err
@@ -116,7 +123,10 @@ func run(dir, base, engine, kway, objective string, starts int, cutoff float64, 
 		if coarsenWorkers == 0 {
 			coarsenWorkers = runtime.GOMAXPROCS(0)
 		}
-		cfg := multilevel.Config{Objective: obj, MaxPassFraction: passFraction(cutoff), Workers: workers, CoarsenWorkers: coarsenWorkers, Stats: phases}
+		if max := runtime.GOMAXPROCS(0); refineWorkers > max {
+			refineWorkers = max
+		}
+		cfg := multilevel.Config{Objective: obj, MaxPassFraction: passFraction(cutoff), Workers: workers, CoarsenWorkers: coarsenWorkers, RefineWorkers: refineWorkers, Stats: phases}
 		switch {
 		case p.K == 2 && shared:
 			res, err := multilevel.ParallelSharedMultistart(p, cfg, starts, hierarchies, rng)
@@ -227,8 +237,9 @@ func printStats(phases *multilevel.PhaseStats, flat *fm.KernelStats) {
 	kernel := flat.Snapshot()
 	if phases != nil {
 		if phases.TotalNS() > 0 {
-			fmt.Printf("phases: coarsen %.1f ms, init %.1f ms, refine %.1f ms\n",
-				float64(phases.CoarsenNS)/1e6, float64(phases.InitNS)/1e6, float64(phases.RefineNS)/1e6)
+			fmt.Printf("phases: coarsen %.1f ms, init %.1f ms, refine-parallel %.1f ms, refine %.1f ms\n",
+				float64(phases.CoarsenNS)/1e6, float64(phases.InitNS)/1e6,
+				float64(phases.RefineParallelNS)/1e6, float64(phases.RefineNS)/1e6)
 		}
 		ml := phases.Kernel.Snapshot()
 		kernel.NetsSkipped += ml.NetsSkipped

@@ -19,6 +19,12 @@
 //	                    (default 1; requests may override with
 //	                    "coarsen_workers", clamped to GOMAXPROCS; never
 //	                    changes results)
+//	-refine-workers int  default worker count for the synchronous-round
+//	                    parallel refinement stage in each descent (default 1:
+//	                    stage on; 0 disables it, restoring serial-only
+//	                    refinement; requests may override with
+//	                    "refine_workers", clamped to GOMAXPROCS; every count
+//	                    >= 1 is bit-identical)
 //	-max-body int       request body limit in bytes (default 32 MiB)
 //	-max-starts int     per-request multistart limit (default 64)
 //	-timeout duration   default per-request timeout (default 1m)
@@ -50,6 +56,7 @@ func main() {
 	cache := flag.Int("cache", 32, "hierarchy cache capacity in instances")
 	runWorkers := flag.Int("run-workers", 1, "goroutines per run's multistart fan-out")
 	coarsenWorkers := flag.Int("coarsen-workers", 1, "default goroutines inside each coarsening descent (clamped to GOMAXPROCS; never changes results)")
+	refineWorkers := flag.Int("refine-workers", 1, "default parallel-refinement workers per descent (0 disables the round stage; counts >= 1 are bit-identical; clamped to GOMAXPROCS)")
 	maxBody := flag.Int64("max-body", 32<<20, "request body limit in bytes")
 	maxStarts := flag.Int("max-starts", 64, "per-request multistart limit")
 	timeout := flag.Duration("timeout", time.Minute, "default per-request timeout")
@@ -63,6 +70,7 @@ func main() {
 		CacheEntries:   *cache,
 		RunWorkers:     *runWorkers,
 		CoarsenWorkers: *coarsenWorkers,
+		RefineWorkers:  *refineWorkers,
 		MaxBodyBytes:   *maxBody,
 		MaxStarts:      *maxStarts,
 		DefaultTimeout: *timeout,

@@ -35,6 +35,12 @@ type SweepConfig struct {
 	// Seed and the cell index, so results are identical for every worker
 	// count — only wall-clock changes.
 	Workers int
+	// RefineWorkers, when nonzero, overrides ML.RefineWorkers for every
+	// multilevel run of the protocol: positive values enable the
+	// synchronous-round parallel refinement stage at that worker count
+	// (every count >= 1 is bit-identical), negative values force the stage
+	// off even if ML asked for it. Zero leaves ML.RefineWorkers as given.
+	RefineWorkers int
 	// SharedHierarchies, when positive, runs each multistart cell through
 	// multilevel.SharedMultistart with that many coarsening hierarchies:
 	// cheaper sweeps at a small cut penalty from follower descents. Zero
@@ -57,6 +63,11 @@ func (c SweepConfig) withDefaults() SweepConfig {
 	}
 	if c.GoodStarts <= 0 {
 		c.GoodStarts = 10
+	}
+	if c.RefineWorkers > 0 {
+		c.ML.RefineWorkers = c.RefineWorkers
+	} else if c.RefineWorkers < 0 {
+		c.ML.RefineWorkers = 0
 	}
 	return c
 }

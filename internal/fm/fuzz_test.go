@@ -18,7 +18,11 @@ import (
 // Score matches an independent from-scratch partition.Cut / KMinus1
 // recomputation. The reference predates the objective layer and always
 // walks the (λ-1) trajectory, so comparing a km1 run against it also
-// enforces the documented trajectory-independence invariant.
+// enforces the documented trajectory-independence invariant. Each input
+// additionally drives the parallel round engine (ParallelRefine) at a
+// randomized worker count and cross-checks it against workers=1: identical
+// assignment and round/move/gain counts, feasible output, and a Gain that
+// matches the from-scratch connectivity reduction.
 func FuzzFMKernel(f *testing.F) {
 	f.Add([]byte{3, 20, 1, 2, 3, 4, 5, 6, 7, 8}, uint8(0))
 	f.Add([]byte{2, 40, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0}, uint8(1))
@@ -144,6 +148,35 @@ func FuzzFMKernel(f *testing.F) {
 		}
 		if s := cfg.Objective.Score(h, got.Assignment); got.Score != s {
 			t.Fatalf("objective %v: Score %d != recomputed %d", cfg.Objective, got.Score, s)
+		}
+
+		// Parallel round engine: a randomized worker count must reproduce the
+		// workers=1 rounds bit for bit (same salt, decoded from the data), the
+		// result must be feasible, and the reported Gain must equal the
+		// from-scratch connectivity reduction.
+		workers := 2 + int(mode>>4)%7
+		salt := uint64(fu8(data, pos))<<8 | uint64(mode)
+		pWant, err := fm.ParallelRefine(p, initial, cfg, 1, salt)
+		if err != nil {
+			t.Fatalf("parallel workers=1: %v", err)
+		}
+		pGot, err := fm.ParallelRefine(p, initial, cfg, workers, salt)
+		if err != nil {
+			t.Fatalf("parallel workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(pGot.Assignment, pWant.Assignment) {
+			t.Fatalf("parallel workers=%d assignment diverges from workers=1:\n got %v\nwant %v",
+				workers, pGot.Assignment, pWant.Assignment)
+		}
+		if pGot.Rounds != pWant.Rounds || pGot.Moves != pWant.Moves || pGot.Gain != pWant.Gain {
+			t.Fatalf("parallel workers=%d stats %d/%d/%d diverge from workers=1 %d/%d/%d",
+				workers, pGot.Rounds, pGot.Moves, pGot.Gain, pWant.Rounds, pWant.Moves, pWant.Gain)
+		}
+		if err := p.Feasible(pGot.Assignment); err != nil {
+			t.Fatalf("parallel result infeasible: %v", err)
+		}
+		if d := partition.KMinus1(h, initial) - partition.KMinus1(h, pGot.Assignment); d != pGot.Gain {
+			t.Fatalf("parallel Gain %d != measured connectivity reduction %d", pGot.Gain, d)
 		}
 	})
 }

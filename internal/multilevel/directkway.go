@@ -180,16 +180,23 @@ func partitionKWayWith(p *partition.Problem, cfg Config, rng *rand.Rand, sc *fm.
 
 	// Uncoarsen with direct k-way FM refinement plus pairwise 2-way sweeps
 	// (k-way passes move single vertices; the pair sweeps recover the 2-way
-	// hill-climbing power recursive bisection gets for free).
+	// hill-climbing power recursive bisection gets for free). When the
+	// parallel round stage is on it runs first at every level, and the k-way
+	// polish at coarse levels drops to a single pass (polishConfig).
 	for lvl := start - 1; lvl >= 0; lvl-- {
 		a = project(a, levels[lvl].clusterOf)
-		res, err := fm.KWayPartitionWith(levels[lvl].problem, a, fmCfg, sc)
+		var err error
+		if a, err = parallelRounds(levels[lvl].problem, a, cfg, rng, sc); err != nil {
+			return nil, fmt.Errorf("multilevel: refining level %d: %w", lvl, err)
+		}
+		lvlCfg := polishConfig(fmCfg, cfg, lvl)
+		res, err := fm.KWayPartitionWith(levels[lvl].problem, a, lvlCfg, sc)
 		if err != nil {
 			return nil, fmt.Errorf("multilevel: refining level %d: %w", lvl, err)
 		}
 		a = res.Assignment
 		if p.K > 2 {
-			a, err = pairwiseRefine(levels[lvl].problem, a, fmCfg, 2, sc)
+			a, err = pairwiseRefine(levels[lvl].problem, a, lvlCfg, 2, sc)
 			if err != nil {
 				return nil, err
 			}

@@ -151,23 +151,61 @@ func (h *Hierarchy) descendWith(rng *rand.Rand, follower bool, sc *fm.Scratch) (
 		return nil, fmt.Errorf("multilevel: no feasible initial solution at any level (instance overconstrained)")
 	}
 
-	// Uncoarsen with FM refinement.
-	var refineErr error
-	cfg.Stats.track(phaseRefine, func() {
-		for lvl := start - 1; lvl >= 0; lvl-- {
-			a = project(a, h.levels[lvl].clusterOf)
-			res, err := fm.BipartitionWith(h.levels[lvl].problem, a, fmCfg, sc)
-			if err != nil {
-				refineErr = fmt.Errorf("multilevel: refining level %d: %w", lvl, err)
-				return
-			}
-			a = res.Assignment
+	// Uncoarsen: the optional parallel round stage, then serial FM polish,
+	// per level.
+	for lvl := start - 1; lvl >= 0; lvl-- {
+		a = project(a, h.levels[lvl].clusterOf)
+		var err error
+		if a, err = parallelRounds(h.levels[lvl].problem, a, cfg, rng, sc); err != nil {
+			return nil, fmt.Errorf("multilevel: refining level %d: %w", lvl, err)
 		}
-	})
-	if refineErr != nil {
-		return nil, refineErr
+		lvlCfg := polishConfig(fmCfg, cfg, lvl)
+		cfg.Stats.track(phaseRefine, func() {
+			var res *fm.Result
+			if res, err = fm.BipartitionWith(h.levels[lvl].problem, a, lvlCfg, sc); err == nil {
+				a = res.Assignment
+			}
+		})
+		if err != nil {
+			return nil, fmt.Errorf("multilevel: refining level %d: %w", lvl, err)
+		}
 	}
 	return newResult(h.Root(), a, cfg, len(h.levels)-1), nil
+}
+
+// parallelRounds runs the Config.RefineWorkers synchronous-round stage on one
+// level's problem when enabled, tracked under the refine_parallel phase. The
+// commit-order salt is drawn from rng with exactly one draw per call whatever
+// the worker count, so the RNG stream — and therefore every downstream draw —
+// is identical for all RefineWorkers values >= 1. Disabled (< 1), it returns
+// a unchanged and consumes nothing.
+func parallelRounds(p *partition.Problem, a partition.Assignment, cfg Config, rng *rand.Rand, sc *fm.Scratch) (partition.Assignment, error) {
+	if cfg.RefineWorkers < 1 {
+		return a, nil
+	}
+	salt := rng.Uint64()
+	var res *fm.ParallelResult
+	var err error
+	cfg.Stats.track(phaseRefineParallel, func() {
+		res, err = fm.ParallelRefineWith(p, a, fm.Config{Objective: cfg.Objective}, cfg.RefineWorkers, salt, sc)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Assignment, nil
+}
+
+// polishConfig caps the serial FM polish to one pass at coarse levels while
+// the parallel round stage is on — the rounds replace the polish's repeated
+// passes there, and the remaining pass contributes the hill-climbing the
+// greedy rounds cannot. The finest level (lvl 0) always keeps the full
+// configured pass budget: the serial net-state-aware kernel stays the final
+// polish and the quality baseline.
+func polishConfig(fmCfg fm.Config, cfg Config, lvl int) fm.Config {
+	if cfg.RefineWorkers >= 1 && lvl > 0 {
+		fmCfg.MaxPasses = 1
+	}
+	return fmCfg
 }
 
 // followerPassFraction resolves the pass cutoff for follower descents: the
@@ -188,12 +226,17 @@ func followerPassFraction(cfg Config) float64 {
 // numbers read the process-wide heap counter and are only attributable to a
 // phase in serial runs.
 type PhaseStats struct {
-	CoarsenNS     int64 `json:"coarsen_ns"`
-	InitNS        int64 `json:"init_ns"`
-	RefineNS      int64 `json:"refine_ns"`
-	CoarsenAllocs int64 `json:"coarsen_allocs"`
-	InitAllocs    int64 `json:"init_allocs"`
-	RefineAllocs  int64 `json:"refine_allocs"`
+	CoarsenNS int64 `json:"coarsen_ns"`
+	InitNS    int64 `json:"init_ns"`
+	RefineNS  int64 `json:"refine_ns"`
+	// RefineParallelNS is the wall time of the synchronous-round parallel
+	// refinement stage (Config.RefineWorkers); RefineNS keeps counting only
+	// the serial FM polish, so the two split the refinement phase.
+	RefineParallelNS     int64 `json:"refine_parallel_ns"`
+	CoarsenAllocs        int64 `json:"coarsen_allocs"`
+	InitAllocs           int64 `json:"init_allocs"`
+	RefineAllocs         int64 `json:"refine_allocs"`
+	RefineParallelAllocs int64 `json:"refine_parallel_allocs"`
 	// Kernel accumulates the FM kernel's net-state-aware work counters (nets
 	// skipped, pin scans avoided, bucket updates saved) across every FM run a
 	// descent performs; like the phase counters it is updated atomically.
@@ -201,7 +244,9 @@ type PhaseStats struct {
 }
 
 // TotalNS returns the summed wall time across phases.
-func (st *PhaseStats) TotalNS() int64 { return st.CoarsenNS + st.InitNS + st.RefineNS }
+func (st *PhaseStats) TotalNS() int64 {
+	return st.CoarsenNS + st.InitNS + st.RefineNS + st.RefineParallelNS
+}
 
 // kernelStats returns the kernel-counter sink of st, or nil when stats are
 // not being collected.
@@ -216,9 +261,10 @@ const (
 	phaseCoarsen = iota
 	phaseInit
 	phaseRefine
+	phaseRefineParallel
 )
 
-var phaseLabels = [...]string{"coarsen", "init", "refine"}
+var phaseLabels = [...]string{"coarsen", "init", "refine", "refine_parallel"}
 
 // track runs fn under a pprof goroutine label for the phase (so CPU/heap
 // profiles split by phase) and, when st is non-nil, accrues wall time and
@@ -243,6 +289,9 @@ func (st *PhaseStats) track(phase int, fn func()) {
 	case phaseRefine:
 		atomic.AddInt64(&st.RefineNS, dt)
 		atomic.AddInt64(&st.RefineAllocs, da)
+	case phaseRefineParallel:
+		atomic.AddInt64(&st.RefineParallelNS, dt)
+		atomic.AddInt64(&st.RefineParallelAllocs, da)
 	}
 }
 

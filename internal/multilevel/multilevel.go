@@ -74,6 +74,21 @@ type Config struct {
 	// bit-identical for every value — which is why CoarseningFingerprint
 	// deliberately excludes it.
 	CoarsenWorkers int
+	// RefineWorkers enables the deterministic synchronous-round parallel
+	// refinement stage (fm.ParallelRefine) during uncoarsening: at every
+	// level the stage runs before the serial FM polish, and at coarse levels
+	// the polish is capped to a single pass (the rounds replace its repeated
+	// passes; the finest level keeps the full configured polish). <= 0
+	// disables the stage entirely — refinement is exactly the serial-only
+	// path, bit for bit. Any value >= 1 produces bit-identical results to
+	// every other value >= 1 (the rounds are propose/commit with a
+	// deterministic commit order; worker chunks only split the scans), but
+	// enabling the stage does change results relative to serial-only: the
+	// rounds commit their own move sequence and draw one RNG value per
+	// refined level. Like CoarsenWorkers it is excluded from
+	// CoarseningFingerprint — coarsening never depends on it, so cached
+	// hierarchies serve every value.
+	RefineWorkers int
 	// Stats, when non-nil, accumulates per-phase wall time and heap
 	// allocation counts (coarsen / initial partitioning / refinement) over
 	// every descent run with this config. Counters are updated atomically;

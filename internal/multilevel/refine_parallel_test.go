@@ -1,0 +1,152 @@
+package multilevel_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/fm"
+	"repro/internal/multilevel"
+	"repro/internal/partition"
+)
+
+// TestRefineWorkersGoldenEquivalence is the determinism contract of the
+// synchronous-round parallel refinement stage at the driver level: for
+// workers in {2, 4, 8} every driver — 2-way Partition, direct k-way, V-cycle
+// and shared multistart — must return a result bit-identical to workers=1
+// (the stage serialised onto the calling goroutine), on free and
+// fixed-terminals instances. Run under -race in CI, which also exercises the
+// concurrent propose and dirty-marking phases.
+func TestRefineWorkersGoldenEquivalence(t *testing.T) {
+	p2 := presetProblem(t, "IBM01S", 0.08, 0.2)
+	p2free := presetProblem(t, "IBM02S", 0.06, 0)
+	p4 := partition.NewFree(p2free.H, 4, 0.1)
+
+	type runs struct {
+		part, kway, vcyc, shared *multilevel.Result
+	}
+	run := func(workers int) runs {
+		var r runs
+		var err error
+		cfg := multilevel.Config{RefineWorkers: workers}
+		if r.part, err = multilevel.Partition(p2, cfg, rand.New(rand.NewPCG(3, 4))); err != nil {
+			t.Fatalf("workers=%d: Partition: %v", workers, err)
+		}
+		if r.kway, err = multilevel.PartitionKWay(p4, cfg, rand.New(rand.NewPCG(5, 6))); err != nil {
+			t.Fatalf("workers=%d: PartitionKWay: %v", workers, err)
+		}
+		base, err := multilevel.Partition(p2, multilevel.Config{}, rand.New(rand.NewPCG(7, 8)))
+		if err != nil {
+			t.Fatalf("workers=%d: VCycle base: %v", workers, err)
+		}
+		if r.vcyc, err = multilevel.VCycle(p2, base.Assignment, cfg, rand.New(rand.NewPCG(9, 10))); err != nil {
+			t.Fatalf("workers=%d: VCycle: %v", workers, err)
+		}
+		if r.shared, err = multilevel.ParallelSharedMultistart(p2, cfg, 4, 2, rand.New(rand.NewPCG(11, 12))); err != nil {
+			t.Fatalf("workers=%d: ParallelSharedMultistart: %v", workers, err)
+		}
+		return r
+	}
+
+	want := run(1)
+	for _, workers := range []int{2, 4, 8} {
+		got := run(workers)
+		sameResult(t, "partition", want.part, got.part)
+		sameResult(t, "kway", want.kway, got.kway)
+		sameResult(t, "vcycle", want.vcyc, got.vcyc)
+		sameResult(t, "shared", want.shared, got.shared)
+	}
+}
+
+// TestRefineWorkersDifferentialQuality bounds what enabling the round stage
+// (plus the capped serial polish) costs against the pure serial kernel, per
+// the acceptance bar: over 40 trials — 20 per objective, varying seed and
+// fixed fraction — the mean cut and mean km1 of RefineWorkers=1 runs must
+// stay within 2% of serial-only (RefineWorkers=0) runs of the same
+// instances.
+func TestRefineWorkersDifferentialQuality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quality differential needs full trials")
+	}
+	for _, obj := range []fm.Objective{fm.ObjectiveCut, fm.ObjectiveKM1} {
+		var serialCut, parCut, serialKM1, parKM1 int64
+		trial := 0
+		for _, inst := range []struct {
+			name      string
+			fixedFrac float64
+		}{
+			{"IBM01S", 0}, {"IBM01S", 0.25}, {"IBM02S", 0}, {"IBM02S", 0.25},
+		} {
+			p2 := presetProblem(t, inst.name, 0.08, inst.fixedFrac)
+			p4 := partition.NewFree(p2.H, 4, 0.1)
+			for seed := uint64(0); seed < 10; seed++ {
+				trial++
+				p := p2
+				runKWay := seed%2 == 1
+				if runKWay {
+					p = p4
+				}
+				run := func(workers int) *multilevel.Result {
+					cfg := multilevel.Config{Objective: obj, RefineWorkers: workers}
+					rng := rand.New(rand.NewPCG(seed, 0xbeef))
+					var res *multilevel.Result
+					var err error
+					if runKWay {
+						res, err = multilevel.PartitionKWay(p, cfg, rng)
+					} else {
+						res, err = multilevel.Partition(p, cfg, rng)
+					}
+					if err != nil {
+						t.Fatalf("%s trial %d workers=%d: %v", obj, trial, workers, err)
+					}
+					return res
+				}
+				s, q := run(0), run(1)
+				serialCut += s.Cut
+				parCut += q.Cut
+				serialKM1 += s.KMinus1
+				parKM1 += q.KMinus1
+			}
+		}
+		if trial < 40 {
+			t.Fatalf("only %d trials ran, want >= 40", trial)
+		}
+		if float64(parCut) > 1.02*float64(serialCut) {
+			t.Errorf("objective=%s: mean cut with rounds %.1f exceeds serial-only %.1f by more than 2%%",
+				obj, float64(parCut)/float64(trial), float64(serialCut)/float64(trial))
+		}
+		if float64(parKM1) > 1.02*float64(serialKM1) {
+			t.Errorf("objective=%s: mean km1 with rounds %.1f exceeds serial-only %.1f by more than 2%%",
+				obj, float64(parKM1)/float64(trial), float64(serialKM1)/float64(trial))
+		}
+	}
+}
+
+// TestRefineWorkersFingerprintUnchanged pins the cache-compatibility rule:
+// the round stage runs strictly after coarsening, so RefineWorkers must not
+// move CoarseningFingerprint — hpartd's hierarchy cache serves every value
+// with the same entries.
+func TestRefineWorkersFingerprintUnchanged(t *testing.T) {
+	base := multilevel.Config{}.CoarseningFingerprint()
+	for _, workers := range []int{1, 2, 8, 64} {
+		if got := (multilevel.Config{RefineWorkers: workers}).CoarseningFingerprint(); got != base {
+			t.Errorf("RefineWorkers=%d moved CoarseningFingerprint: %x vs %x", workers, got, base)
+		}
+	}
+}
+
+// TestRefineWorkersOffIsSeedBehavior pins the compatibility promise of the
+// zero value: RefineWorkers=0 must reproduce the pre-stage serial refinement
+// bit for bit (no extra RNG draws, no round engine) — here cross-checked by
+// negative values, which must behave like 0 rather than enable anything.
+func TestRefineWorkersOffIsSeedBehavior(t *testing.T) {
+	p := presetProblem(t, "IBM01S", 0.08, 0.1)
+	want, err := multilevel.Partition(p, multilevel.Config{}, rand.New(rand.NewPCG(21, 22)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := multilevel.Partition(p, multilevel.Config{RefineWorkers: -3}, rand.New(rand.NewPCG(21, 22)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "refine-workers=-3", want, got)
+}

@@ -63,15 +63,20 @@ func VCycle(p *partition.Problem, a partition.Assignment, cfg Config, rng *rand.
 	defer fm.PutScratch(sc)
 	sol := levels[len(levels)-1].sol
 	for lvl := len(levels) - 1; lvl >= 0; lvl-- {
+		var err error
+		if sol, err = parallelRounds(levels[lvl].problem, sol, cfg, rng, sc); err != nil {
+			return nil, fmt.Errorf("multilevel: V-cycle refining level %d: %w", lvl, err)
+		}
+		lvlCfg := polishConfig(fmCfg, cfg, lvl)
 		var refined partition.Assignment
 		if p.K == 2 {
-			res, err := fm.BipartitionWith(levels[lvl].problem, sol, fmCfg, sc)
+			res, err := fm.BipartitionWith(levels[lvl].problem, sol, lvlCfg, sc)
 			if err != nil {
 				return nil, fmt.Errorf("multilevel: V-cycle refining level %d: %w", lvl, err)
 			}
 			refined = res.Assignment
 		} else {
-			res, err := fm.KWayPartitionWith(levels[lvl].problem, sol, fmCfg, sc)
+			res, err := fm.KWayPartitionWith(levels[lvl].problem, sol, lvlCfg, sc)
 			if err != nil {
 				return nil, fmt.Errorf("multilevel: V-cycle refining level %d: %w", lvl, err)
 			}

@@ -1,6 +1,6 @@
 // Package profiling wires the opt-in -cpuprofile/-memprofile flags of the
 // command-line tools to runtime/pprof. The multilevel engine labels its
-// phases with pprof goroutine labels (phase=coarsen|init|refine), so a CPU
+// phases with pprof goroutine labels (phase=coarsen|init|refine_parallel|refine), so a CPU
 // profile written here can be narrowed to one phase with
 // `go tool pprof -tagfocus phase=refine cpu.pprof`.
 package profiling

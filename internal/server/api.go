@@ -77,6 +77,17 @@ type Request struct {
 	// hierarchies, cuts and fingerprints are bit-identical for every value —
 	// so it does not participate in the hierarchy-cache key.
 	CoarsenWorkers int `json:"coarsen_workers,omitempty"`
+	// RefineWorkers enables the deterministic synchronous-round parallel
+	// refinement stage inside each descent and sets its worker count
+	// (default: the server's -refine-workers flag; 0 defers to that
+	// default, negative is rejected, values above GOMAXPROCS are clamped).
+	// Every count >= 1 returns bit-identical results, so like
+	// coarsen_workers the field stays out of the hierarchy-cache key.
+	// Unlike coarsen_workers, switching the stage on at all (any count
+	// >= 1) selects a different — typically faster, comparably good — move
+	// sequence than the serial-only refinement a server whose default is 0
+	// runs; see multilevel.Config.RefineWorkers.
+	RefineWorkers int `json:"refine_workers,omitempty"`
 	// TimeoutMS bounds the run's wall clock; a run cut short returns the
 	// best completed result with "truncated": true (or 504 if nothing
 	// finished). 0 means the server default; values above the server
@@ -143,9 +154,13 @@ type Response struct {
 	Cache string `json:"cache"`
 	// CoarsenWorkers is the effective intra-descent coarsening parallelism
 	// this run used, after defaulting and the GOMAXPROCS clamp.
-	CoarsenWorkers int       `json:"coarsen_workers"`
-	ElapsedMS      float64   `json:"elapsed_ms"`
-	PartWeights    [][]int64 `json:"part_weights"`
+	CoarsenWorkers int `json:"coarsen_workers"`
+	// RefineWorkers is the effective parallel-refinement worker count after
+	// defaulting and the GOMAXPROCS clamp; 0 means the stage was off and
+	// refinement ran on the serial kernel alone.
+	RefineWorkers int       `json:"refine_workers"`
+	ElapsedMS     float64   `json:"elapsed_ms"`
+	PartWeights   [][]int64 `json:"part_weights"`
 	// Phases carries the run's per-phase wall time, allocation and FM-kernel
 	// counters (zero coarsen time is the signature of a cache hit).
 	Phases *multilevel.PhaseStats `json:"phases,omitempty"`
@@ -204,6 +219,14 @@ func (r Request) withDefaults(cfg Config) Request {
 	if max := runtime.GOMAXPROCS(0); r.CoarsenWorkers > max {
 		r.CoarsenWorkers = max
 	}
+	if r.RefineWorkers == 0 {
+		r.RefineWorkers = cfg.RefineWorkers
+	}
+	// Same clamp for refine workers: every count >= 1 is bit-identical, so
+	// oversubscribing only adds overhead.
+	if max := runtime.GOMAXPROCS(0); r.RefineWorkers > max {
+		r.RefineWorkers = max
+	}
 	return r
 }
 
@@ -232,6 +255,9 @@ func (r Request) validate(cfg Config) error {
 	}
 	if r.CoarsenWorkers < 0 {
 		return fmt.Errorf("coarsen_workers %d is negative", r.CoarsenWorkers)
+	}
+	if r.RefineWorkers < 0 {
+		return fmt.Errorf("refine_workers %d is negative", r.RefineWorkers)
 	}
 	if r.Starts > cfg.MaxStarts {
 		return fmt.Errorf("starts %d exceeds server limit %d", r.Starts, cfg.MaxStarts)
@@ -284,7 +310,9 @@ func (e errTooLarge) Error() string { return e.msg }
 // itself, keeping hierarchy construction a pure function of the key.
 // coarsen_workers is deliberately absent: it never changes the hierarchies
 // (CoarseningFingerprint excludes it for the same reason), so entries built
-// at any worker count serve every request. The objective IS in the key,
+// at any worker count serve every request. refine_workers is absent for the
+// same reason — the round stage runs strictly after coarsening, so cached
+// hierarchies serve every value, stage off included. The objective IS in the key,
 // conservatively: coarsening never consults it (CoarseningFingerprint
 // excludes it), but separating cut and km1 entries keeps every cached
 // answer trivially attributable to one objective's request stream.

@@ -40,6 +40,14 @@ type Config struct {
 	// Requests may override with "coarsen_workers"; either way the value is
 	// clamped to GOMAXPROCS and never changes results.
 	CoarsenWorkers int
+	// RefineWorkers is the default worker count for the synchronous-round
+	// parallel refinement stage inside each descent (default 0: the stage
+	// is off and refinement is the serial FM kernel alone, the historical
+	// behavior). Requests may override with "refine_workers"; either way
+	// the value is clamped to GOMAXPROCS. Every count >= 1 is
+	// bit-identical to every other, but switching the stage on at all
+	// changes results versus 0 — see multilevel.Config.RefineWorkers.
+	RefineWorkers int
 	// CacheEntries is the hierarchy-cache capacity in instances
 	// (default 32).
 	CacheEntries int
@@ -68,6 +76,11 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CoarsenWorkers == 0 {
 		c.CoarsenWorkers = 1
+	}
+	// RefineWorkers keeps its zero value (stage off); a negative default
+	// would turn every defaulted request into a 400, so normalize it away.
+	if c.RefineWorkers < 0 {
+		c.RefineWorkers = 0
 	}
 	if c.CacheEntries < 1 {
 		c.CacheEntries = 32
@@ -313,6 +326,7 @@ func (s *Server) run(ctx context.Context, req Request) (*Response, int, string) 
 		RefineMaxPasses: req.RefinePasses,
 		Workers:         req.Workers,
 		CoarsenWorkers:  req.CoarsenWorkers,
+		RefineWorkers:   req.RefineWorkers,
 		Stats:           phases,
 	}
 	if req.Policy == "lifo" {
@@ -387,7 +401,7 @@ func (s *Server) run(ctx context.Context, req Request) (*Response, int, string) 
 		}
 		return nil, http.StatusUnprocessableEntity, err.Error()
 	}
-	s.metrics.observeRun(res, phases, req.CoarsenWorkers, objective.String())
+	s.metrics.observeRun(res, phases, req.CoarsenWorkers, req.RefineWorkers, objective.String())
 	if ferr := prob.Feasible(res.Assignment); ferr != nil {
 		return nil, http.StatusInternalServerError, "internal error: infeasible result: " + ferr.Error()
 	}
@@ -414,6 +428,7 @@ func (s *Server) run(ctx context.Context, req Request) (*Response, int, string) 
 		Levels:          res.Levels,
 		Cache:           cacheKind,
 		CoarsenWorkers:  req.CoarsenWorkers,
+		RefineWorkers:   req.RefineWorkers,
 		PartWeights:     partition.PartWeights(prob.H, res.Assignment, prob.K),
 		Phases:          phases,
 	}, 0, ""
