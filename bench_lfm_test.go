@@ -1,0 +1,314 @@
+package repro
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/fm"
+	"repro/internal/multilevel"
+	"repro/internal/partition"
+)
+
+// BenchmarkLocalizedFM measures the localized parallel FM stage
+// (Config.LocalizedFMWorkers) end to end on million-cell instances, one row
+// per worker count in {1, 2, 4, 8} plus the stage-off baseline
+// (LocalizedFMWorkers=0 with RefineWorkers=1: the pre-stage pipeline, whose
+// finest level runs the full serial polish). Coarsening is paid once per
+// instance and shared by every row through Hierarchy.WithRefinement, so the
+// rows time exactly what the stage changes: the refinement phase
+// (refine_parallel_ns + refine_localized_ns + refine_ns) of a full descent.
+//
+// Every worker row is verified bit-identical to the workers=1 row — cut, km1
+// and assignment — before its timing counts, for both objectives; the
+// determinism checks run unconditionally on every host. Quality is bounded
+// statistically against the stage-off baseline: per objective, the mean cut
+// and mean km1 over the quality seeds must stay within 2% of the baseline
+// means (the per-trial distribution lives in internal/multilevel's
+// TestLocalizedFMDifferentialQuality).
+//
+// Environment knobs:
+//
+//	REPRO_LFM_PRESET  comma-separated instance presets
+//	                  (default "HUGE1,HUGE2")
+//	REPRO_LFM_SCALE   preset scale factor (default 1.0; CI smoke-tests a
+//	                  reduced scale)
+//
+// As in BenchmarkParallelRefine, rows raise GOMAXPROCS toward the worker
+// count but never past runtime.NumCPU(), then clamp the effective worker
+// count to the GOMAXPROCS actually granted (counts >= 1 are bit-identical,
+// so the clamp only removes oversubscription overhead); each row records
+// both the requested and effective counts. The first run writes
+// BENCH_lfm.json (num_cpu recorded) and enforces the bars the host can
+// support: the refinement phase at 8 workers must be >= 2.5x faster than
+// the serial-polish baseline given 8 cores, >= 1.5x given 4, >= 1.2x given
+// 2; unconditionally — on every host, including single-core ones — the
+// 1-worker row's refinement time must stay within 1.3x of the baseline
+// (the localized stage plus its 1-pass tail replaces the full polish, so
+// even serial it must not cost more than a bounded overhead).
+func BenchmarkLocalizedFM(b *testing.B) {
+	presets := strings.Split(envStr("REPRO_LFM_PRESET", "HUGE1,HUGE2"), ",")
+	scale := envFloat("REPRO_LFM_SCALE", 1.0)
+	workerCounts := []int{1, 2, 4, 8}
+	objectives := []fm.Objective{fm.ObjectiveCut, fm.ObjectiveKM1}
+	// Quality means are taken over these descent seeds; the first seed also
+	// provides the timing rows.
+	qualitySeeds := []uint64{131, 227, 311}
+
+	// descend runs one full descent of h at the given LocalizedFMWorkers
+	// count (RefineWorkers pinned to 1, the stage-on default of the prior
+	// pipeline) and reports the result, the per-phase refinement
+	// nanoseconds, the GOMAXPROCS granted and the effective worker count
+	// after the clamp.
+	descend := func(b *testing.B, h *multilevel.Hierarchy, obj fm.Objective, workers int, seed uint64) (*multilevel.Result, lfmPhases, int, int) {
+		procs := runtime.GOMAXPROCS(0)
+		if target := min(workers, runtime.NumCPU()); target > procs {
+			prev := runtime.GOMAXPROCS(target)
+			defer runtime.GOMAXPROCS(prev)
+			procs = target
+		}
+		effective := workers
+		if effective > procs {
+			effective = procs
+		}
+		phases := &multilevel.PhaseStats{}
+		res, err := h.WithRefinement(multilevel.Config{
+			Objective:          obj,
+			RefineWorkers:      1,
+			LocalizedFMWorkers: effective,
+			Stats:              phases,
+		}).Descend(rand.New(rand.NewPCG(seed, 17)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res, lfmPhases{
+			Rounds:    phases.RefineParallelNS,
+			Localized: phases.RefineLocalizedNS,
+			Polish:    phases.RefineNS,
+		}, procs, effective
+	}
+
+	build := func(b *testing.B, preset string) (*multilevel.Hierarchy, *partition.Problem) {
+		nl := mustNetlist(b, preset, scale)
+		p := partition.NewBipartition(nl.H, 0.02)
+		h, err := multilevel.BuildHierarchy(p, multilevel.Config{CoarsenWorkers: min(8, runtime.NumCPU())}, rand.New(rand.NewPCG(31, 41)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return h, p
+	}
+
+	for _, preset := range presets {
+		h, _ := build(b, preset)
+		for _, workers := range append([]int{0}, workerCounts...) {
+			b.Run(fmt.Sprintf("%s/workers=%d", preset, workers), func(b *testing.B) {
+				var ph lfmPhases
+				for i := 0; i < b.N; i++ {
+					_, ph, _, _ = descend(b, h, fm.ObjectiveCut, workers, qualitySeeds[0])
+				}
+				b.ReportMetric(float64(ph.Rounds+ph.Localized+ph.Polish)/1e6, "refine-ms")
+			})
+		}
+	}
+
+	lfmBaselineOnce.Do(func() {
+		base := lfmBaseline{
+			Scale:        scale,
+			NumCPU:       runtime.NumCPU(),
+			GOMAXPROCS:   runtime.GOMAXPROCS(0),
+			QualitySeeds: len(qualitySeeds),
+		}
+		for _, preset := range presets {
+			h, p := build(b, preset)
+			inst := lfmInstance{
+				Instance: preset,
+				Vertices: p.H.NumVertices(),
+				Nets:     p.H.NumNets(),
+				Pins:     p.H.NumPins(),
+				Levels:   h.Levels(),
+			}
+			for _, obj := range objectives {
+				row := lfmObjective{Objective: obj.String()}
+
+				// Stage-off baseline: timing from the first seed, quality
+				// means over all seeds.
+				var baseCutSum, baseKM1Sum int64
+				for i, seed := range qualitySeeds {
+					res, ph, _, _ := descend(b, h, obj, 0, seed)
+					baseCutSum += res.Cut
+					baseKM1Sum += res.KMinus1
+					if i == 0 {
+						row.BaselineRoundsNS = ph.Rounds
+						row.BaselinePolishNS = ph.Polish
+						row.BaselineRefineNS = ph.Rounds + ph.Localized + ph.Polish
+						row.BaselineCut = res.Cut
+						row.BaselineKM1 = res.KMinus1
+					}
+				}
+				row.BaselineMeanCut = float64(baseCutSum) / float64(len(qualitySeeds))
+				row.BaselineMeanKM1 = float64(baseKM1Sum) / float64(len(qualitySeeds))
+
+				// Localized rows at the first seed: timing plus the
+				// unconditional bit-identity contract against workers=1.
+				var refCut, refKM1 int64
+				var refAssign partition.Assignment
+				for _, workers := range workerCounts {
+					res, ph, procs, effective := descend(b, h, obj, workers, qualitySeeds[0])
+					if workers == workerCounts[0] {
+						refCut, refKM1, refAssign = res.Cut, res.KMinus1, res.Assignment
+					} else {
+						if res.Cut != refCut || res.KMinus1 != refKM1 {
+							b.Errorf("%s %s workers=%d: cut/km1 %d/%d != workers=1 %d/%d (determinism contract broken)",
+								preset, obj, workers, res.Cut, res.KMinus1, refCut, refKM1)
+						}
+						for v := range refAssign {
+							if res.Assignment[v] != refAssign[v] {
+								b.Errorf("%s %s workers=%d: assignment diverges from workers=1 at vertex %d", preset, obj, workers, v)
+								break
+							}
+						}
+					}
+					refineNS := ph.Rounds + ph.Localized + ph.Polish
+					row.Rows = append(row.Rows, lfmSample{
+						Workers:          workers,
+						EffectiveWorkers: effective,
+						GOMAXPROCS:       procs,
+						RoundsNS:         ph.Rounds,
+						LocalizedNS:      ph.Localized,
+						PolishNS:         ph.Polish,
+						RefineNS:         refineNS,
+						Speedup:          float64(row.BaselineRefineNS) / float64(refineNS),
+						Cut:              res.Cut,
+						KMinus1:          res.KMinus1,
+					})
+				}
+
+				// Quality means for the localized pipeline (workers=1; every
+				// count is bit-identical, so one count speaks for all).
+				locCutSum, locKM1Sum := row.Rows[0].Cut, row.Rows[0].KMinus1
+				for _, seed := range qualitySeeds[1:] {
+					res, _, _, _ := descend(b, h, obj, 1, seed)
+					locCutSum += res.Cut
+					locKM1Sum += res.KMinus1
+				}
+				row.LocalizedMeanCut = float64(locCutSum) / float64(len(qualitySeeds))
+				row.LocalizedMeanKM1 = float64(locKM1Sum) / float64(len(qualitySeeds))
+				row.CutRatio = row.LocalizedMeanCut / row.BaselineMeanCut
+				row.KM1Ratio = row.LocalizedMeanKM1 / row.BaselineMeanKM1
+				if row.CutRatio > 1.02 {
+					b.Errorf("%s %s: localized mean cut %.1f exceeds baseline mean %.1f by more than 2%%",
+						preset, obj, row.LocalizedMeanCut, row.BaselineMeanCut)
+				}
+				if row.KM1Ratio > 1.02 {
+					b.Errorf("%s %s: localized mean km1 %.1f exceeds baseline mean %.1f by more than 2%%",
+						preset, obj, row.LocalizedMeanKM1, row.BaselineMeanKM1)
+				}
+
+				// Speedup bars scale with the cores the host can grant; the
+				// 1-worker overhead bound holds everywhere.
+				row1, row8 := row.Rows[0], row.Rows[len(row.Rows)-1]
+				if float64(row1.RefineNS) > 1.3*float64(row.BaselineRefineNS) {
+					b.Errorf("%s %s workers=1: refinement %.1fms exceeds the 1.3x overhead bound over the serial-polish baseline %.1fms",
+						preset, obj, float64(row1.RefineNS)/1e6, float64(row.BaselineRefineNS)/1e6)
+				}
+				switch {
+				case base.NumCPU >= 8 && row8.Speedup < 2.5:
+					b.Errorf("%s %s: refine speedup at 8 workers %.2fx below the 2.5x bar on %d cores (baseline %.1fms vs %.1fms)",
+						preset, obj, row8.Speedup, base.NumCPU, float64(row.BaselineRefineNS)/1e6, float64(row8.RefineNS)/1e6)
+				case base.NumCPU >= 4 && base.NumCPU < 8 && row8.Speedup < 1.5:
+					b.Errorf("%s %s: refine speedup at 8 workers %.2fx below the 1.5x bar on %d cores", preset, obj, row8.Speedup, base.NumCPU)
+				case base.NumCPU >= 2 && base.NumCPU < 4 && row8.Speedup < 1.2:
+					b.Errorf("%s %s: refine speedup at 8 workers %.2fx below the 1.2x bar on %d cores", preset, obj, row8.Speedup, base.NumCPU)
+				}
+				inst.Objectives = append(inst.Objectives, row)
+			}
+			base.Instances = append(base.Instances, inst)
+		}
+
+		buf, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_lfm.json", append(buf, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+		for _, inst := range base.Instances {
+			for _, row := range inst.Objectives {
+				row8 := row.Rows[len(row.Rows)-1]
+				fmt.Printf("wrote BENCH_lfm.json row (%s@%g %s, baseline refine %.1fms, 8-worker speedup %.2fx on %d cores, mean cut %.1f vs baseline %.1f)\n",
+					inst.Instance, scale, row.Objective, float64(row.BaselineRefineNS)/1e6, row8.Speedup, base.NumCPU, row.LocalizedMeanCut, row.BaselineMeanCut)
+			}
+		}
+	})
+}
+
+var lfmBaselineOnce sync.Once
+
+// lfmPhases splits one descent's refinement phase: Rounds is the parallel
+// round stage (refine_parallel_ns), Localized the localized FM stage at the
+// finest level (refine_localized_ns), Polish the serial FM passes
+// (refine_ns).
+type lfmPhases struct {
+	Rounds, Localized, Polish int64
+}
+
+// lfmBaseline is the schema of BENCH_lfm.json. Per instance and objective,
+// baseline_refine_ns is the refinement phase of the LocalizedFMWorkers=0
+// pipeline (RefineWorkers=1, full serial polish at the finest level — the
+// quality and speed baseline) and each row's speedup is that divided by the
+// row's rounds+localized+polish refinement time; cut_ratio/km1_ratio compare
+// quality means over quality_seeds descents; num_cpu records how many real
+// cores the rows could use, which is what the speedup bars (and the CI smoke
+// assertion) condition on.
+type lfmBaseline struct {
+	Scale        float64       `json:"scale"`
+	NumCPU       int           `json:"num_cpu"`
+	GOMAXPROCS   int           `json:"gomaxprocs"`
+	QualitySeeds int           `json:"quality_seeds"`
+	Instances    []lfmInstance `json:"instances"`
+}
+
+type lfmInstance struct {
+	Instance   string         `json:"instance"`
+	Vertices   int            `json:"vertices"`
+	Nets       int            `json:"nets"`
+	Pins       int            `json:"pins"`
+	Levels     int            `json:"levels"`
+	Objectives []lfmObjective `json:"objectives"`
+}
+
+type lfmObjective struct {
+	Objective        string      `json:"objective"`
+	BaselineRoundsNS int64       `json:"baseline_rounds_ns"`
+	BaselinePolishNS int64       `json:"baseline_polish_ns"`
+	BaselineRefineNS int64       `json:"baseline_refine_ns"`
+	BaselineCut      int64       `json:"baseline_cut"`
+	BaselineKM1      int64       `json:"baseline_km1"`
+	BaselineMeanCut  float64     `json:"baseline_mean_cut"`
+	BaselineMeanKM1  float64     `json:"baseline_mean_km1"`
+	LocalizedMeanCut float64     `json:"localized_mean_cut"`
+	LocalizedMeanKM1 float64     `json:"localized_mean_km1"`
+	CutRatio         float64     `json:"cut_ratio"`
+	KM1Ratio         float64     `json:"km1_ratio"`
+	Rows             []lfmSample `json:"rows"`
+}
+
+type lfmSample struct {
+	Workers int `json:"workers"`
+	// EffectiveWorkers is the count the row actually ran after the
+	// GOMAXPROCS clamp (identical results; see the benchmark comment).
+	EffectiveWorkers int     `json:"effective_workers"`
+	GOMAXPROCS       int     `json:"gomaxprocs"`
+	RoundsNS         int64   `json:"rounds_ns"`
+	LocalizedNS      int64   `json:"localized_ns"`
+	PolishNS         int64   `json:"polish_ns"`
+	RefineNS         int64   `json:"refine_ns"`
+	Speedup          float64 `json:"speedup"`
+	Cut              int64   `json:"cut"`
+	KMinus1          int64   `json:"km1"`
+}

@@ -37,8 +37,12 @@ import (
 //	                      reduced scale)
 //
 // As in BenchmarkParallelCoarsen, rows raise GOMAXPROCS toward the worker
-// count but never past runtime.NumCPU(), so a row either measures real
-// scaling or bounded goroutine overhead. The first run writes
+// count but never past runtime.NumCPU(), and then clamp the effective worker
+// count to the GOMAXPROCS actually granted (oversubscribing beyond
+// schedulable CPUs only adds propose/merge overhead — results are
+// bit-identical either way — and used to distort the high-worker rows on
+// small hosts); each row records both the requested and effective counts.
+// The first run writes
 // BENCH_prefine.json (num_cpu recorded) and enforces the speedup bars the
 // host can support: the refinement phase at 8 workers must be >= 3x faster
 // than the serial-only baseline given 8 cores, >= 2x given 4, >= 1.2x given
@@ -55,20 +59,28 @@ func BenchmarkParallelRefine(b *testing.B) {
 	// reports the result, the refinement-phase nanoseconds (rounds + serial
 	// polish), and the GOMAXPROCS it ran under. The RNG is fixed so every
 	// descent draws the identical stream.
-	descend := func(b *testing.B, h *multilevel.Hierarchy, workers int) (*multilevel.Result, prefinePhases, int) {
+	descend := func(b *testing.B, h *multilevel.Hierarchy, workers int) (*multilevel.Result, prefinePhases, int, int) {
 		procs := runtime.GOMAXPROCS(0)
 		if target := min(workers, runtime.NumCPU()); target > procs {
 			prev := runtime.GOMAXPROCS(target)
 			defer runtime.GOMAXPROCS(prev)
 			procs = target
 		}
+		// Clamp the effective count to the CPUs actually granted, as the
+		// server layer does: counts >= 1 are bit-identical, so the clamp
+		// only removes oversubscription overhead from the row (workers=0
+		// stays 0, the stage off).
+		effective := workers
+		if effective > procs {
+			effective = procs
+		}
 		phases := &multilevel.PhaseStats{}
-		res, err := h.WithRefinement(multilevel.Config{RefineWorkers: workers, Stats: phases}).
+		res, err := h.WithRefinement(multilevel.Config{RefineWorkers: effective, Stats: phases}).
 			Descend(rand.New(rand.NewPCG(131, 7)))
 		if err != nil {
 			b.Fatal(err)
 		}
-		return res, prefinePhases{Rounds: phases.RefineParallelNS, Polish: phases.RefineNS}, procs
+		return res, prefinePhases{Rounds: phases.RefineParallelNS, Polish: phases.RefineNS}, procs, effective
 	}
 
 	build := func(b *testing.B, preset string) (*multilevel.Hierarchy, *partition.Problem) {
@@ -87,7 +99,7 @@ func BenchmarkParallelRefine(b *testing.B) {
 			b.Run(fmt.Sprintf("%s/workers=%d", preset, workers), func(b *testing.B) {
 				var ph prefinePhases
 				for i := 0; i < b.N; i++ {
-					_, ph, _ = descend(b, h, workers)
+					_, ph, _, _ = descend(b, h, workers)
 				}
 				b.ReportMetric(float64(ph.Rounds+ph.Polish)/1e6, "refine-ms")
 			})
@@ -109,7 +121,7 @@ func BenchmarkParallelRefine(b *testing.B) {
 				Pins:     p.H.NumPins(),
 				Levels:   h.Levels(),
 			}
-			serial, sph, _ := descend(b, h, 0)
+			serial, sph, _, _ := descend(b, h, 0)
 			inst.SerialRefineNS = sph.Polish
 			inst.SerialCut = serial.Cut
 			inst.SerialKM1 = serial.KMinus1
@@ -117,7 +129,7 @@ func BenchmarkParallelRefine(b *testing.B) {
 			var refCut, refKM1 int64
 			var refAssign partition.Assignment
 			for _, workers := range workerCounts {
-				res, ph, procs := descend(b, h, workers)
+				res, ph, procs, effective := descend(b, h, workers)
 				if workers == workerCounts[0] {
 					refCut, refKM1, refAssign = res.Cut, res.KMinus1, res.Assignment
 				} else {
@@ -146,14 +158,15 @@ func BenchmarkParallelRefine(b *testing.B) {
 				}
 				refineNS := ph.Rounds + ph.Polish
 				inst.Rows = append(inst.Rows, prefineSample{
-					Workers:    workers,
-					GOMAXPROCS: procs,
-					RoundsNS:   ph.Rounds,
-					PolishNS:   ph.Polish,
-					RefineNS:   refineNS,
-					Speedup:    float64(inst.SerialRefineNS) / float64(refineNS),
-					Cut:        res.Cut,
-					KMinus1:    res.KMinus1,
+					Workers:          workers,
+					EffectiveWorkers: effective,
+					GOMAXPROCS:       procs,
+					RoundsNS:         ph.Rounds,
+					PolishNS:         ph.Polish,
+					RefineNS:         refineNS,
+					Speedup:          float64(inst.SerialRefineNS) / float64(refineNS),
+					Cut:              res.Cut,
+					KMinus1:          res.KMinus1,
 				})
 			}
 
@@ -228,12 +241,15 @@ type prefineInstance struct {
 }
 
 type prefineSample struct {
-	Workers    int     `json:"workers"`
-	GOMAXPROCS int     `json:"gomaxprocs"`
-	RoundsNS   int64   `json:"rounds_ns"`
-	PolishNS   int64   `json:"polish_ns"`
-	RefineNS   int64   `json:"refine_ns"`
-	Speedup    float64 `json:"speedup"`
-	Cut        int64   `json:"cut"`
-	KMinus1    int64   `json:"km1"`
+	Workers int `json:"workers"`
+	// EffectiveWorkers is the count the row actually ran after the
+	// GOMAXPROCS clamp (identical results; see the benchmark comment).
+	EffectiveWorkers int     `json:"effective_workers"`
+	GOMAXPROCS       int     `json:"gomaxprocs"`
+	RoundsNS         int64   `json:"rounds_ns"`
+	PolishNS         int64   `json:"polish_ns"`
+	RefineNS         int64   `json:"refine_ns"`
+	Speedup          float64 `json:"speedup"`
+	Cut              int64   `json:"cut"`
+	KMinus1          int64   `json:"km1"`
 }

@@ -6,7 +6,8 @@
 //	experiments -exp table1|fig1|fig2|table2|table3|table4|multiway|
 //	                 constraint|profile|starts|objective|all
 //	            [-scale 0.25] [-trials 10] [-seed 1] [-workers 0]
-//	            [-refine-workers 0] [-objective cut|km1] [-stats]
+//	            [-refine-workers 0] [-localized-fm-workers 0]
+//	            [-objective cut|km1] [-stats]
 //	            [-csv sweep.csv] [-cpuprofile cpu.pprof]
 //	            [-memprofile mem.pprof]
 //
@@ -29,8 +30,14 @@
 // refinement the published study numbers were produced with — turning the
 // stage on changes the exact cuts, not just wall-clock.
 //
+// -localized-fm-workers > 0 likewise enables the deterministic localized FM
+// stage at the finest level of every multilevel run (counts >= 1 are
+// bit-identical to each other); the default 0 keeps the full serial polish
+// the published study numbers were produced with.
+//
 // -cpuprofile/-memprofile write pprof profiles of the whole run; multilevel
-// phases carry pprof labels (phase=coarsen|init|refine_parallel|refine) for -tagfocus.
+// phases carry pprof labels
+// (phase=coarsen|init|refine_parallel|refine_localized|refine) for -tagfocus.
 //
 // CPU numbers are host wall-clock; the paper's were measured on 1990s Sun
 // hardware, so only relative comparisons are meaningful.
@@ -62,6 +69,7 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "random seed")
 		workers    = flag.Int("workers", 0, "goroutines for independent cells (0 = GOMAXPROCS)")
 		refineW    = flag.Int("refine-workers", 0, "parallel-refinement workers per descent (0 keeps the study's serial-only refinement; counts >= 1 are bit-identical)")
+		localizedW = flag.Int("localized-fm-workers", 0, "localized-FM workers at the finest level (0 keeps the study's full serial polish; counts >= 1 are bit-identical)")
 		csvOut     = flag.String("csv", "", "also write fig1/fig2 sweep data as CSV to this file")
 		stats      = flag.Bool("stats", false, "print per-phase timings and FM kernel work counters after the run")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -71,6 +79,7 @@ func main() {
 	csvPath = *csvOut
 	cellWorkers = *workers
 	refineWorkers = *refineW
+	localizedFMWorkers = *localizedW
 	var err error
 	mlObjective, err = fm.ParseObjective(*objective)
 	if err != nil {
@@ -156,6 +165,10 @@ var cellWorkers int
 // SweepConfig (0 = serial-only refinement, the study default).
 var refineWorkers int
 
+// localizedFMWorkers is the -localized-fm-workers override threaded into
+// every SweepConfig (0 = full serial polish, the study default).
+var localizedFMWorkers int
+
 // mlStats, when -stats is set, accumulates phase timings and FM kernel work
 // counters across every multilevel run of the experiments (updated
 // atomically, so concurrent cells are safe; the per-phase wall-clock numbers
@@ -178,11 +191,12 @@ func figure(name string, scale float64, trials int, seed uint64) error {
 		return err
 	}
 	res, err := experiments.RunSweep(name, nl.H, experiments.SweepConfig{
-		Trials:        trials,
-		Seed:          seed,
-		Workers:       cellWorkers,
-		RefineWorkers: refineWorkers,
-		ML:            mlConfig(),
+		Trials:             trials,
+		Seed:               seed,
+		Workers:            cellWorkers,
+		RefineWorkers:      refineWorkers,
+		LocalizedFMWorkers: localizedFMWorkers,
+		ML:                 mlConfig(),
 	})
 	if err != nil {
 		return err
@@ -276,12 +290,13 @@ func multiway(scale float64, trials int, seed uint64) error {
 		return err
 	}
 	rows, err := experiments.MultiwaySweep("IBM01S", nl.H, 4, experiments.SweepConfig{
-		Fractions:     []float64{0, 0.05, 0.10, 0.20, 0.30, 0.50},
-		Trials:        trials,
-		Seed:          seed,
-		Workers:       cellWorkers,
-		RefineWorkers: refineWorkers,
-		ML:            mlConfig(),
+		Fractions:          []float64{0, 0.05, 0.10, 0.20, 0.30, 0.50},
+		Trials:             trials,
+		Seed:               seed,
+		Workers:            cellWorkers,
+		RefineWorkers:      refineWorkers,
+		LocalizedFMWorkers: localizedFMWorkers,
+		ML:                 mlConfig(),
 	})
 	if err != nil {
 		return err
@@ -295,12 +310,13 @@ func constraint(scale float64, trials int, seed uint64) error {
 		return err
 	}
 	rows, err := experiments.ConstraintStudy("IBM01S", nl.H, experiments.SweepConfig{
-		Fractions:     []float64{0, 0.05, 0.10, 0.20, 0.30, 0.50},
-		Trials:        trials,
-		Seed:          seed,
-		Workers:       cellWorkers,
-		RefineWorkers: refineWorkers,
-		ML:            mlConfig(),
+		Fractions:          []float64{0, 0.05, 0.10, 0.20, 0.30, 0.50},
+		Trials:             trials,
+		Seed:               seed,
+		Workers:            cellWorkers,
+		RefineWorkers:      refineWorkers,
+		LocalizedFMWorkers: localizedFMWorkers,
+		ML:                 mlConfig(),
 	})
 	if err != nil {
 		return err
@@ -331,12 +347,13 @@ func starts(scale float64, trials int, seed uint64) error {
 		return err
 	}
 	rows, err := experiments.StartsRequired("IBM01S", nl.H, experiments.SweepConfig{
-		Fractions:     []float64{0, 0.05, 0.10, 0.20, 0.30, 0.50},
-		Trials:        trials,
-		Seed:          seed,
-		Workers:       cellWorkers,
-		RefineWorkers: refineWorkers,
-		ML:            mlConfig(),
+		Fractions:          []float64{0, 0.05, 0.10, 0.20, 0.30, 0.50},
+		Trials:             trials,
+		Seed:               seed,
+		Workers:            cellWorkers,
+		RefineWorkers:      refineWorkers,
+		LocalizedFMWorkers: localizedFMWorkers,
+		ML:                 mlConfig(),
 	})
 	if err != nil {
 		return err
@@ -350,12 +367,13 @@ func objectiveStudy(scale float64, trials int, seed uint64) error {
 		return err
 	}
 	rows, err := experiments.ObjectiveStudy("IBM01S", nl.H, []int{2, 4, 8}, experiments.SweepConfig{
-		Fractions:     []float64{0, 0.10, 0.30, 0.50},
-		Trials:        trials,
-		Seed:          seed,
-		Workers:       cellWorkers,
-		RefineWorkers: refineWorkers,
-		ML:            mlConfig(),
+		Fractions:          []float64{0, 0.10, 0.30, 0.50},
+		Trials:             trials,
+		Seed:               seed,
+		Workers:            cellWorkers,
+		RefineWorkers:      refineWorkers,
+		LocalizedFMWorkers: localizedFMWorkers,
+		ML:                 mlConfig(),
 	})
 	if err != nil {
 		return err

@@ -7,6 +7,7 @@
 //	hpart -dir bench -base IBM01SA_L0_V [-engine ml|lifo|clip] [-starts 4]
 //	      [-kway direct|rb] [-objective cut|km1] [-cutoff 0.25] [-seed 1]
 //	      [-workers 0] [-coarsen-workers 1] [-refine-workers 1]
+//	      [-localized-fm-workers 1]
 //	      [-shared-coarsen] [-hierarchies 2] [-stats] [-cpuprofile cpu.pprof]
 //	      [-memprofile mem.pprof] [-out solution.sol]
 //
@@ -27,6 +28,12 @@
 // GOMAXPROCS). Every count >= 1 returns bit-identical results; turning the
 // stage on at all selects a different — typically faster, comparably good —
 // move sequence than serial-only refinement.
+// -localized-fm-workers (ml engine) enables the deterministic localized FM
+// stage at the finest level of each descent (default 1: stage on; 0 disables
+// it, restoring the full serial polish; clamped to GOMAXPROCS). Every count
+// >= 1 returns bit-identical results; turning the stage on replaces most of
+// the finest-level serial polish with bounded localized searches plus a
+// one-pass tail.
 // -shared-coarsen (2-way bundles only) amortises coarsening across starts:
 // -hierarchies owner starts build and fully refine private hierarchies, the
 // remaining starts resample those hierarchies as cheap pass-cutoff follower
@@ -37,7 +44,8 @@
 // k-way FM polish.
 //
 // -cpuprofile/-memprofile write pprof profiles of the whole run; multilevel
-// phases carry pprof labels (phase=coarsen|init|refine_parallel|refine), so
+// phases carry pprof labels
+// (phase=coarsen|init|refine_parallel|refine_localized|refine), so
 // `go tool pprof -tagfocus phase=refine cpu.pprof` isolates one phase.
 package main
 
@@ -69,6 +77,7 @@ func main() {
 		workers     = flag.Int("workers", 0, "goroutines for parallel multistart (0 = GOMAXPROCS)")
 		coarsenW    = flag.Int("coarsen-workers", 1, "goroutines inside each coarsening descent (0 = GOMAXPROCS; never changes results)")
 		refineW     = flag.Int("refine-workers", 1, "parallel-refinement workers per descent (0 disables the round stage; counts >= 1 are bit-identical; clamped to GOMAXPROCS)")
+		localizedW  = flag.Int("localized-fm-workers", 1, "localized-FM workers at the finest level (0 disables the stage; counts >= 1 are bit-identical; clamped to GOMAXPROCS)")
 		shared      = flag.Bool("shared-coarsen", false, "share coarsening hierarchies across ml starts (2-way only)")
 		hierarchies = flag.Int("hierarchies", 2, "shared hierarchies to build with -shared-coarsen")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -87,7 +96,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hpart:", err)
 		os.Exit(1)
 	}
-	err = run(*dir, *base, *engine, *kway, *objective, *starts, *cutoff, *seed, *workers, *coarsenW, *refineW, *shared, *hierarchies, *stats, *out)
+	err = run(*dir, *base, *engine, *kway, *objective, *starts, *cutoff, *seed, *workers, *coarsenW, *refineW, *localizedW, *shared, *hierarchies, *stats, *out)
 	stop()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hpart:", err)
@@ -95,7 +104,7 @@ func main() {
 	}
 }
 
-func run(dir, base, engine, kway, objective string, starts int, cutoff float64, seed uint64, workers, coarsenWorkers, refineWorkers int, shared bool, hierarchies int, stats bool, out string) error {
+func run(dir, base, engine, kway, objective string, starts int, cutoff float64, seed uint64, workers, coarsenWorkers, refineWorkers, localizedWorkers int, shared bool, hierarchies int, stats bool, out string) error {
 	obj, err := fm.ParseObjective(objective)
 	if err != nil {
 		return err
@@ -126,7 +135,10 @@ func run(dir, base, engine, kway, objective string, starts int, cutoff float64, 
 		if max := runtime.GOMAXPROCS(0); refineWorkers > max {
 			refineWorkers = max
 		}
-		cfg := multilevel.Config{Objective: obj, MaxPassFraction: passFraction(cutoff), Workers: workers, CoarsenWorkers: coarsenWorkers, RefineWorkers: refineWorkers, Stats: phases}
+		if max := runtime.GOMAXPROCS(0); localizedWorkers > max {
+			localizedWorkers = max
+		}
+		cfg := multilevel.Config{Objective: obj, MaxPassFraction: passFraction(cutoff), Workers: workers, CoarsenWorkers: coarsenWorkers, RefineWorkers: refineWorkers, LocalizedFMWorkers: localizedWorkers, Stats: phases}
 		switch {
 		case p.K == 2 && shared:
 			res, err := multilevel.ParallelSharedMultistart(p, cfg, starts, hierarchies, rng)
@@ -237,9 +249,9 @@ func printStats(phases *multilevel.PhaseStats, flat *fm.KernelStats) {
 	kernel := flat.Snapshot()
 	if phases != nil {
 		if phases.TotalNS() > 0 {
-			fmt.Printf("phases: coarsen %.1f ms, init %.1f ms, refine-parallel %.1f ms, refine %.1f ms\n",
+			fmt.Printf("phases: coarsen %.1f ms, init %.1f ms, refine-parallel %.1f ms, refine-localized %.1f ms, refine %.1f ms\n",
 				float64(phases.CoarsenNS)/1e6, float64(phases.InitNS)/1e6,
-				float64(phases.RefineParallelNS)/1e6, float64(phases.RefineNS)/1e6)
+				float64(phases.RefineParallelNS)/1e6, float64(phases.RefineLocalizedNS)/1e6, float64(phases.RefineNS)/1e6)
 		}
 		ml := phases.Kernel.Snapshot()
 		kernel.NetsSkipped += ml.NetsSkipped

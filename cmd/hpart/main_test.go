@@ -36,7 +36,7 @@ func TestRunMultilevel(t *testing.T) {
 	dir := t.TempDir()
 	p := writeBundle(t, dir, "tiny")
 	out := filepath.Join(dir, "tiny.sol")
-	if err := run(dir, "tiny", "ml", "direct", "cut", 2, 1, 1, 2, 2, 2, false, 2, false, out); err != nil {
+	if err := run(dir, "tiny", "ml", "direct", "cut", 2, 1, 1, 2, 2, 2, 2, false, 2, false, out); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	f, err := os.Open(out)
@@ -60,7 +60,7 @@ func TestRunSharedCoarsen(t *testing.T) {
 	dir := t.TempDir()
 	p := writeBundle(t, dir, "tiny")
 	out := filepath.Join(dir, "tiny_shared.sol")
-	if err := run(dir, "tiny", "ml", "direct", "cut", 4, 1, 1, 2, 2, 2, true, 2, false, out); err != nil {
+	if err := run(dir, "tiny", "ml", "direct", "cut", 4, 1, 1, 2, 2, 2, 2, true, 2, false, out); err != nil {
 		t.Fatalf("run -shared-coarsen: %v", err)
 	}
 	f, err := os.Open(out)
@@ -75,7 +75,7 @@ func TestRunSharedCoarsen(t *testing.T) {
 	if err := p.Feasible(a); err != nil {
 		t.Errorf("shared solution infeasible: %v", err)
 	}
-	if err := run(dir, "tiny", "clip", "direct", "cut", 1, 1, 1, 1, 1, 0, true, 2, false, ""); err == nil {
+	if err := run(dir, "tiny", "clip", "direct", "cut", 1, 1, 1, 1, 1, 0, 0, true, 2, false, ""); err == nil {
 		t.Error("want error for -shared-coarsen with a flat engine")
 	}
 }
@@ -86,7 +86,7 @@ func TestRunObjectiveKM1(t *testing.T) {
 	dir := t.TempDir()
 	p := writeBundle(t, dir, "tiny")
 	out := filepath.Join(dir, "tiny_km1.sol")
-	if err := run(dir, "tiny", "ml", "direct", "km1", 2, 1, 1, 2, 2, 2, false, 2, false, out); err != nil {
+	if err := run(dir, "tiny", "ml", "direct", "km1", 2, 1, 1, 2, 2, 2, 2, false, 2, false, out); err != nil {
 		t.Fatalf("run -objective km1: %v", err)
 	}
 	f, err := os.Open(out)
@@ -101,10 +101,10 @@ func TestRunObjectiveKM1(t *testing.T) {
 	if err := p.Feasible(a); err != nil {
 		t.Errorf("km1 solution infeasible: %v", err)
 	}
-	if err := run(dir, "tiny", "clip", "direct", "km1", 1, 1, 1, 1, 1, 0, false, 2, false, ""); err != nil {
+	if err := run(dir, "tiny", "clip", "direct", "km1", 1, 1, 1, 1, 1, 0, 0, false, 2, false, ""); err != nil {
 		t.Errorf("flat engine with -objective km1: %v", err)
 	}
-	if err := run(dir, "tiny", "ml", "direct", "wirelength", 1, 1, 1, 1, 1, 0, false, 2, false, ""); err == nil {
+	if err := run(dir, "tiny", "ml", "direct", "wirelength", 1, 1, 1, 1, 1, 0, 0, false, 2, false, ""); err == nil {
 		t.Error("want error for unknown objective")
 	}
 }
@@ -113,7 +113,7 @@ func TestRunFlatEngines(t *testing.T) {
 	dir := t.TempDir()
 	writeBundle(t, dir, "tiny")
 	for _, engine := range []string{"lifo", "clip"} {
-		if err := run(dir, "tiny", engine, "direct", "cut", 1, 0.25, 2, 1, 1, 0, false, 2, false, ""); err != nil {
+		if err := run(dir, "tiny", engine, "direct", "cut", 1, 0.25, 2, 1, 1, 0, 0, false, 2, false, ""); err != nil {
 			t.Errorf("engine %s: %v", engine, err)
 		}
 	}
@@ -122,10 +122,10 @@ func TestRunFlatEngines(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
 	writeBundle(t, dir, "tiny")
-	if err := run(dir, "tiny", "bogus", "direct", "cut", 1, 1, 1, 1, 1, 1, false, 2, false, ""); err == nil {
+	if err := run(dir, "tiny", "bogus", "direct", "cut", 1, 1, 1, 1, 1, 1, 1, false, 2, false, ""); err == nil {
 		t.Error("want error for unknown engine")
 	}
-	if err := run(dir, "missing", "ml", "direct", "cut", 1, 1, 1, 1, 1, 1, false, 2, false, ""); err == nil {
+	if err := run(dir, "missing", "ml", "direct", "cut", 1, 1, 1, 1, 1, 1, 1, false, 2, false, ""); err == nil {
 		t.Error("want error for missing bundle")
 	}
 }
@@ -156,7 +156,7 @@ func TestRunKWayBundle(t *testing.T) {
 	}
 	for _, mode := range []string{"direct", "rb"} {
 		out := filepath.Join(dir, "quad_"+mode+".sol")
-		if err := run(dir, "quad", "ml", mode, "cut", 2, 1, 1, 2, 2, 2, false, 2, false, out); err != nil {
+		if err := run(dir, "quad", "ml", mode, "cut", 2, 1, 1, 2, 2, 2, 2, false, 2, false, out); err != nil {
 			t.Fatalf("run ml k=4 -kway=%s: %v", mode, err)
 		}
 		got, err := bookshelf.ReadProblem(dir, "quad")
@@ -176,10 +176,10 @@ func TestRunKWayBundle(t *testing.T) {
 			t.Fatalf("-kway=%s solution infeasible: %v", mode, err)
 		}
 	}
-	if err := run(dir, "quad", "ml", "bogus", "cut", 1, 1, 1, 1, 1, 1, false, 2, false, ""); err == nil {
+	if err := run(dir, "quad", "ml", "bogus", "cut", 1, 1, 1, 1, 1, 1, 1, false, 2, false, ""); err == nil {
 		t.Error("want error for unknown -kway mode")
 	}
-	if err := run(dir, "quad", "lifo", "direct", "cut", 1, 1, 2, 1, 1, 0, false, 2, false, ""); err != nil {
+	if err := run(dir, "quad", "lifo", "direct", "cut", 1, 1, 2, 1, 1, 0, 0, false, 2, false, ""); err != nil {
 		t.Fatalf("run flat k=4: %v", err)
 	}
 }
@@ -205,7 +205,7 @@ func TestRunNonPowerOfTwoK(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, mode := range []string{"direct", "rb"} {
-		if err := run(dir, "tri", "ml", mode, "cut", 1, 1, 1, 1, 1, 1, false, 2, false, ""); err != nil {
+		if err := run(dir, "tri", "ml", mode, "cut", 1, 1, 1, 1, 1, 1, 1, false, 2, false, ""); err != nil {
 			t.Errorf("run ml k=3 -kway=%s: %v", mode, err)
 		}
 	}

@@ -25,6 +25,12 @@
 //	                    refinement; requests may override with
 //	                    "refine_workers", clamped to GOMAXPROCS; every count
 //	                    >= 1 is bit-identical)
+//	-localized-fm-workers int  default worker count for the localized FM
+//	                    stage at the finest level of each descent (default 1:
+//	                    stage on; 0 disables it, restoring the full serial
+//	                    polish; requests may override with
+//	                    "localized_fm_workers", clamped to GOMAXPROCS; every
+//	                    count >= 1 is bit-identical)
 //	-max-body int       request body limit in bytes (default 32 MiB)
 //	-max-starts int     per-request multistart limit (default 64)
 //	-timeout duration   default per-request timeout (default 1m)
@@ -57,6 +63,7 @@ func main() {
 	runWorkers := flag.Int("run-workers", 1, "goroutines per run's multistart fan-out")
 	coarsenWorkers := flag.Int("coarsen-workers", 1, "default goroutines inside each coarsening descent (clamped to GOMAXPROCS; never changes results)")
 	refineWorkers := flag.Int("refine-workers", 1, "default parallel-refinement workers per descent (0 disables the round stage; counts >= 1 are bit-identical; clamped to GOMAXPROCS)")
+	localizedFMWorkers := flag.Int("localized-fm-workers", 1, "default localized-FM workers at the finest level (0 disables the stage; counts >= 1 are bit-identical; clamped to GOMAXPROCS)")
 	maxBody := flag.Int64("max-body", 32<<20, "request body limit in bytes")
 	maxStarts := flag.Int("max-starts", 64, "per-request multistart limit")
 	timeout := flag.Duration("timeout", time.Minute, "default per-request timeout")
@@ -65,16 +72,17 @@ func main() {
 	flag.Parse()
 
 	srv := server.New(server.Config{
-		Concurrency:    *concurrency,
-		QueueDepth:     *queue,
-		CacheEntries:   *cache,
-		RunWorkers:     *runWorkers,
-		CoarsenWorkers: *coarsenWorkers,
-		RefineWorkers:  *refineWorkers,
-		MaxBodyBytes:   *maxBody,
-		MaxStarts:      *maxStarts,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
+		Concurrency:        *concurrency,
+		QueueDepth:         *queue,
+		CacheEntries:       *cache,
+		RunWorkers:         *runWorkers,
+		CoarsenWorkers:     *coarsenWorkers,
+		RefineWorkers:      *refineWorkers,
+		LocalizedFMWorkers: *localizedFMWorkers,
+		MaxBodyBytes:       *maxBody,
+		MaxStarts:          *maxStarts,
+		DefaultTimeout:     *timeout,
+		MaxTimeout:         *maxTimeout,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

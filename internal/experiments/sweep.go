@@ -41,6 +41,12 @@ type SweepConfig struct {
 	// (every count >= 1 is bit-identical), negative values force the stage
 	// off even if ML asked for it. Zero leaves ML.RefineWorkers as given.
 	RefineWorkers int
+	// LocalizedFMWorkers, when nonzero, overrides ML.LocalizedFMWorkers the
+	// same way: positive values enable the localized FM stage at the finest
+	// level at that worker count (every count >= 1 is bit-identical),
+	// negative values force the stage off even if ML asked for it. Zero
+	// leaves ML.LocalizedFMWorkers as given.
+	LocalizedFMWorkers int
 	// SharedHierarchies, when positive, runs each multistart cell through
 	// multilevel.SharedMultistart with that many coarsening hierarchies:
 	// cheaper sweeps at a small cut penalty from follower descents. Zero
@@ -68,6 +74,11 @@ func (c SweepConfig) withDefaults() SweepConfig {
 		c.ML.RefineWorkers = c.RefineWorkers
 	} else if c.RefineWorkers < 0 {
 		c.ML.RefineWorkers = 0
+	}
+	if c.LocalizedFMWorkers > 0 {
+		c.ML.LocalizedFMWorkers = c.LocalizedFMWorkers
+	} else if c.LocalizedFMWorkers < 0 {
+		c.ML.LocalizedFMWorkers = 0
 	}
 	return c
 }

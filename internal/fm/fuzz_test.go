@@ -22,7 +22,11 @@ import (
 // additionally drives the parallel round engine (ParallelRefine) at a
 // randomized worker count and cross-checks it against workers=1: identical
 // assignment and round/move/gain counts, feasible output, and a Gain that
-// matches the from-scratch connectivity reduction.
+// matches the from-scratch connectivity reduction. The same input finally
+// drives the localized engine (LocalizedRefine) at a second randomized
+// worker count and cross-checks it against workers=1: identical assignment
+// and search/commit/move/gain counts, feasible output, and a committed-gain
+// ledger that matches the from-scratch connectivity reduction.
 func FuzzFMKernel(f *testing.F) {
 	f.Add([]byte{3, 20, 1, 2, 3, 4, 5, 6, 7, 8}, uint8(0))
 	f.Add([]byte{2, 40, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0}, uint8(1))
@@ -156,6 +160,7 @@ func FuzzFMKernel(f *testing.F) {
 		// from-scratch connectivity reduction.
 		workers := 2 + int(mode>>4)%7
 		salt := uint64(fu8(data, pos))<<8 | uint64(mode)
+		cfg.Sideways = fu8(data, pos+1)&1 == 1
 		pWant, err := fm.ParallelRefine(p, initial, cfg, 1, salt)
 		if err != nil {
 			t.Fatalf("parallel workers=1: %v", err)
@@ -177,6 +182,41 @@ func FuzzFMKernel(f *testing.F) {
 		}
 		if d := partition.KMinus1(h, initial) - partition.KMinus1(h, pGot.Assignment); d != pGot.Gain {
 			t.Fatalf("parallel Gain %d != measured connectivity reduction %d", pGot.Gain, d)
+		}
+
+		// Localized engine: a second randomized worker count must reproduce
+		// the workers=1 searches bit for bit with the same salt, the result
+		// must be feasible and never worse under either metric, and the
+		// committed-gain ledger must equal the from-scratch connectivity
+		// reduction.
+		locWorkers := 2 + int(fu8(data, pos+2))%7
+		lWant, err := fm.LocalizedRefine(p, initial, cfg, 1, salt)
+		if err != nil {
+			t.Fatalf("localized workers=1: %v", err)
+		}
+		lGot, err := fm.LocalizedRefine(p, initial, cfg, locWorkers, salt)
+		if err != nil {
+			t.Fatalf("localized workers=%d: %v", locWorkers, err)
+		}
+		if !reflect.DeepEqual(lGot.Assignment, lWant.Assignment) {
+			t.Fatalf("localized workers=%d assignment diverges from workers=1:\n got %v\nwant %v",
+				locWorkers, lGot.Assignment, lWant.Assignment)
+		}
+		if lGot.Rounds != lWant.Rounds || lGot.Searches != lWant.Searches ||
+			lGot.Committed != lWant.Committed || lGot.Moves != lWant.Moves || lGot.Gain != lWant.Gain {
+			t.Fatalf("localized workers=%d stats %d/%d/%d/%d/%d diverge from workers=1 %d/%d/%d/%d/%d",
+				locWorkers, lGot.Rounds, lGot.Searches, lGot.Committed, lGot.Moves, lGot.Gain,
+				lWant.Rounds, lWant.Searches, lWant.Committed, lWant.Moves, lWant.Gain)
+		}
+		if err := p.Feasible(lGot.Assignment); err != nil {
+			t.Fatalf("localized result infeasible: %v", err)
+		}
+		km1Before, km1After := partition.KMinus1(h, initial), partition.KMinus1(h, lGot.Assignment)
+		if km1After > km1Before {
+			t.Fatalf("localized worsened km1: %d -> %d", km1Before, km1After)
+		}
+		if d := km1Before - km1After; d != lGot.Gain {
+			t.Fatalf("localized Gain %d != measured connectivity reduction %d", lGot.Gain, d)
 		}
 	})
 }

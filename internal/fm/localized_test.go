@@ -1,0 +1,249 @@
+package fm_test
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"repro/internal/fm"
+	"repro/internal/hypergraph"
+	"repro/internal/partition"
+)
+
+// TestLocalizedRefineWorkerInvariance is the determinism contract of the
+// localized engine at the fm level: for a fixed salt, every worker count — 1
+// included — must run the identical searches, commit the identical prefixes
+// and return the identical assignment, on random fixed-vertex problems across
+// k, weights and masks. Run under -race in CI, which also exercises the
+// concurrent boundary scans and the shared search queue.
+func TestLocalizedRefineWorkerInvariance(t *testing.T) {
+	rng := rand.New(rand.NewPCG(0x10ca11, 1))
+	trials := 0
+	for trials < 30 {
+		p, initial, ok := diffProblem(rng)
+		if !ok {
+			continue
+		}
+		trials++
+		salt := rng.Uint64()
+		cfg := fm.Config{}
+		if trials%2 == 0 {
+			cfg.Objective = fm.ObjectiveKM1
+		}
+		want, err := fm.LocalizedRefine(p, initial, cfg, 1, salt)
+		if err != nil {
+			t.Fatalf("trial %d: workers=1: %v", trials, err)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			got, err := fm.LocalizedRefine(p, initial, cfg, workers, salt)
+			if err != nil {
+				t.Fatalf("trial %d: workers=%d: %v", trials, workers, err)
+			}
+			if !reflect.DeepEqual(got.Assignment, want.Assignment) {
+				t.Fatalf("trial %d: workers=%d assignment diverges from workers=1", trials, workers)
+			}
+			if got.Rounds != want.Rounds || got.Searches != want.Searches ||
+				got.Committed != want.Committed || got.Moves != want.Moves || got.Gain != want.Gain {
+				t.Fatalf("trial %d: workers=%d rounds/searches/committed/moves/gain %d/%d/%d/%d/%d, workers=1 %d/%d/%d/%d/%d",
+					trials, workers, got.Rounds, got.Searches, got.Committed, got.Moves, got.Gain,
+					want.Rounds, want.Searches, want.Committed, want.Moves, want.Gain)
+			}
+		}
+	}
+}
+
+// TestLocalizedRefineImproves checks the engine's accounting and invariants
+// on random problems: the result is feasible, never worse than the input
+// under (λ-1) connectivity, Gain equals the measured connectivity reduction
+// (the committed-gain ledger is authoritative), and the input assignment is
+// untouched.
+func TestLocalizedRefineImproves(t *testing.T) {
+	rng := rand.New(rand.NewPCG(0x10ca11, 2))
+	trials := 0
+	improved := 0
+	for trials < 40 {
+		p, initial, ok := diffProblem(rng)
+		if !ok {
+			continue
+		}
+		trials++
+		before := initial.Clone()
+		km1In := partition.KMinus1(p.H, initial)
+		res, err := fm.LocalizedRefine(p, initial, fm.Config{}, 3, rng.Uint64())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trials, err)
+		}
+		if !reflect.DeepEqual(initial, before) {
+			t.Fatalf("trial %d: input assignment was modified", trials)
+		}
+		if err := p.Feasible(res.Assignment); err != nil {
+			t.Fatalf("trial %d: infeasible result: %v", trials, err)
+		}
+		km1Out := partition.KMinus1(p.H, res.Assignment)
+		if km1Out > km1In {
+			t.Fatalf("trial %d: connectivity worsened: %d -> %d", trials, km1In, km1Out)
+		}
+		if got := km1In - km1Out; got != res.Gain {
+			t.Fatalf("trial %d: Gain %d, measured reduction %d", trials, res.Gain, got)
+		}
+		if res.Gain > 0 {
+			improved++
+		}
+	}
+	if improved == 0 {
+		t.Error("no trial improved its random initial assignment (engine inert?)")
+	}
+}
+
+// TestLocalizedRefineAllFixed: with every vertex a fixed terminal the engine
+// must return the input unchanged — no seeds, no searches, no moves.
+func TestLocalizedRefineAllFixed(t *testing.T) {
+	b := hypergraph.NewBuilder(1)
+	for v := 0; v < 8; v++ {
+		b.AddVertex(1)
+	}
+	for e := 0; e < 6; e++ {
+		b.AddNet(e, (e+1)%8, (e+3)%8)
+	}
+	p := partition.NewBipartition(b.MustBuild(), 0.5)
+	for v := 0; v < 8; v++ {
+		p.Fix(v, v%2)
+	}
+	initial, err := partition.RandomFeasible(p, rand.New(rand.NewPCG(1, 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fm.LocalizedRefine(p, initial, fm.Config{}, 4, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Searches != 0 || res.Moves != 0 || res.Gain != 0 || res.Movable != 0 {
+		t.Errorf("all-fixed problem: searches=%d moves=%d gain=%d movable=%d, want zeros",
+			res.Searches, res.Moves, res.Gain, res.Movable)
+	}
+	if !reflect.DeepEqual(res.Assignment, initial) {
+		t.Error("all-fixed problem: assignment changed")
+	}
+}
+
+// TestLocalizedRefineThenPolish mirrors the multilevel composition — rounds,
+// localized searches, then a one-pass serial tail on one leased scratch — and
+// checks the tail never undoes the localized stage's progress.
+func TestLocalizedRefineThenPolish(t *testing.T) {
+	rng := rand.New(rand.NewPCG(0x10ca11, 3))
+	sc := fm.NewScratch()
+	trials := 0
+	for trials < 20 {
+		p, initial, ok := diffProblem(rng)
+		if !ok {
+			continue
+		}
+		trials++
+		salt := rng.Uint64()
+		loc, err := fm.LocalizedRefineWith(p, initial, fm.Config{}, 4, salt, sc)
+		if err != nil {
+			t.Fatalf("trial %d: localized: %v", trials, err)
+		}
+		polished, err := fm.KWayPartitionWith(p, loc.Assignment, fm.Config{Policy: fm.CLIP, MaxPasses: 1}, sc)
+		if err != nil {
+			t.Fatalf("trial %d: tail: %v", trials, err)
+		}
+		if err := p.Feasible(polished.Assignment); err != nil {
+			t.Fatalf("trial %d: tail result infeasible: %v", trials, err)
+		}
+		if after, mid := partition.KMinus1(p.H, polished.Assignment), partition.KMinus1(p.H, loc.Assignment); after > mid {
+			t.Fatalf("trial %d: tail worsened connectivity %d -> %d", trials, mid, after)
+		}
+	}
+}
+
+// TestLocalizedRefineBeatsRounds quantifies why the localized stage exists:
+// on random problems it must, in aggregate, reach at least the connectivity
+// the positive-only round stage reaches from the same inputs — localized
+// searches can walk through negative prefixes the rounds cannot.
+func TestLocalizedRefineBeatsRounds(t *testing.T) {
+	rng := rand.New(rand.NewPCG(0x10ca11, 4))
+	trials := 0
+	var roundsTotal, locTotal int64
+	for trials < 30 {
+		p, initial, ok := diffProblem(rng)
+		if !ok {
+			continue
+		}
+		trials++
+		salt := rng.Uint64()
+		rres, err := fm.ParallelRefine(p, initial, fm.Config{}, 2, salt)
+		if err != nil {
+			t.Fatalf("trial %d: rounds: %v", trials, err)
+		}
+		lres, err := fm.LocalizedRefine(p, initial, fm.Config{}, 2, salt)
+		if err != nil {
+			t.Fatalf("trial %d: localized: %v", trials, err)
+		}
+		roundsTotal += partition.KMinus1(p.H, rres.Assignment)
+		locTotal += partition.KMinus1(p.H, lres.Assignment)
+	}
+	if locTotal > roundsTotal {
+		t.Errorf("localized aggregate km1 %d worse than round stage %d", locTotal, roundsTotal)
+	}
+}
+
+// TestParallelRefineSideways covers Config.Sideways: with the flag on, the
+// round stage stays deterministic across worker counts, keeps the result
+// feasible, never worsens connectivity, and its Gain ledger still equals the
+// measured (λ-1) reduction (sideways commits contribute exactly zero). The
+// flag's off state is the zero value, pinned by every existing golden.
+func TestParallelRefineSideways(t *testing.T) {
+	rng := rand.New(rand.NewPCG(0x51dee, 1))
+	trials := 0
+	sidewaysRuns := 0
+	for trials < 30 {
+		p, initial, ok := diffProblem(rng)
+		if !ok {
+			continue
+		}
+		trials++
+		salt := rng.Uint64()
+		cfg := fm.Config{Sideways: true}
+		km1In := partition.KMinus1(p.H, initial)
+		want, err := fm.ParallelRefine(p, initial, cfg, 1, salt)
+		if err != nil {
+			t.Fatalf("trial %d: workers=1: %v", trials, err)
+		}
+		if err := p.Feasible(want.Assignment); err != nil {
+			t.Fatalf("trial %d: infeasible result: %v", trials, err)
+		}
+		km1Out := partition.KMinus1(p.H, want.Assignment)
+		if km1Out > km1In {
+			t.Fatalf("trial %d: connectivity worsened: %d -> %d", trials, km1In, km1Out)
+		}
+		if got := km1In - km1Out; got != want.Gain {
+			t.Fatalf("trial %d: Gain %d, measured reduction %d", trials, want.Gain, got)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			got, err := fm.ParallelRefine(p, initial, cfg, workers, salt)
+			if err != nil {
+				t.Fatalf("trial %d: workers=%d: %v", trials, workers, err)
+			}
+			if !reflect.DeepEqual(got.Assignment, want.Assignment) {
+				t.Fatalf("trial %d: workers=%d assignment diverges from workers=1 with sideways on", trials, workers)
+			}
+			if got.Moves != want.Moves || got.Gain != want.Gain {
+				t.Fatalf("trial %d: workers=%d moves/gain %d/%d, workers=1 %d/%d",
+					trials, workers, got.Moves, got.Gain, want.Moves, want.Gain)
+			}
+		}
+		// Count trials where sideways moves actually fired (moves beyond the
+		// positive-only run) so the test cannot silently stop covering them.
+		off, err := fm.ParallelRefine(p, initial, fm.Config{}, 1, salt)
+		if err != nil {
+			t.Fatalf("trial %d: sideways off: %v", trials, err)
+		}
+		if want.Moves > off.Moves {
+			sidewaysRuns++
+		}
+	}
+	if sidewaysRuns == 0 {
+		t.Error("no trial committed a sideways move (flag inert?)")
+	}
+}

@@ -148,9 +148,10 @@ func (h *Hierarchy) WithRefinement(cfg Config) *Hierarchy {
 // excluded because WithRefinement rebinds them per descent. CoarsenWorkers
 // is excluded too: it only splits the matching and contraction scans over
 // goroutines and never changes the hierarchy, so caches stay shareable
-// across clients asking for different worker counts — and RefineWorkers with
-// it, since the parallel refinement stage runs strictly after coarsening and
-// never influences hierarchy construction. Objective is likewise
+// across clients asking for different worker counts — and RefineWorkers,
+// LocalizedFMWorkers and RefineSideways with it, since the parallel
+// refinement stages run strictly after coarsening and never influence
+// hierarchy construction. Objective is likewise
 // excluded — coarsening is objective-independent (matching and contraction
 // never consult the metric), so a hierarchy built once may serve both cut
 // and km1 descents; any objective separation a cache wants (hpartd keys on

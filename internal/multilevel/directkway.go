@@ -189,6 +189,9 @@ func partitionKWayWith(p *partition.Problem, cfg Config, rng *rand.Rand, sc *fm.
 		if a, err = parallelRounds(levels[lvl].problem, a, cfg, rng, sc); err != nil {
 			return nil, fmt.Errorf("multilevel: refining level %d: %w", lvl, err)
 		}
+		if a, err = localizedRounds(levels[lvl].problem, a, cfg, lvl, rng, sc); err != nil {
+			return nil, fmt.Errorf("multilevel: refining level %d: %w", lvl, err)
+		}
 		lvlCfg := polishConfig(fmCfg, cfg, lvl)
 		res, err := fm.KWayPartitionWith(levels[lvl].problem, a, lvlCfg, sc)
 		if err != nil {

@@ -151,12 +151,15 @@ func (h *Hierarchy) descendWith(rng *rand.Rand, follower bool, sc *fm.Scratch) (
 		return nil, fmt.Errorf("multilevel: no feasible initial solution at any level (instance overconstrained)")
 	}
 
-	// Uncoarsen: the optional parallel round stage, then serial FM polish,
-	// per level.
+	// Uncoarsen: the optional parallel round stage, then (at the finest
+	// level) the localized FM stage, then serial FM polish, per level.
 	for lvl := start - 1; lvl >= 0; lvl-- {
 		a = project(a, h.levels[lvl].clusterOf)
 		var err error
 		if a, err = parallelRounds(h.levels[lvl].problem, a, cfg, rng, sc); err != nil {
+			return nil, fmt.Errorf("multilevel: refining level %d: %w", lvl, err)
+		}
+		if a, err = localizedRounds(h.levels[lvl].problem, a, cfg, lvl, rng, sc); err != nil {
 			return nil, fmt.Errorf("multilevel: refining level %d: %w", lvl, err)
 		}
 		lvlCfg := polishConfig(fmCfg, cfg, lvl)
@@ -187,7 +190,32 @@ func parallelRounds(p *partition.Problem, a partition.Assignment, cfg Config, rn
 	var res *fm.ParallelResult
 	var err error
 	cfg.Stats.track(phaseRefineParallel, func() {
-		res, err = fm.ParallelRefineWith(p, a, fm.Config{Objective: cfg.Objective}, cfg.RefineWorkers, salt, sc)
+		res, err = fm.ParallelRefineWith(p, a, fm.Config{Objective: cfg.Objective, Sideways: cfg.RefineSideways}, cfg.RefineWorkers, salt, sc)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Assignment, nil
+}
+
+// localizedRounds runs the Config.LocalizedFMWorkers localized parallel FM
+// stage when enabled, tracked under the refine_localized phase. The stage
+// only runs at the finest level (lvl 0) — that is where the full-budget
+// serial polish used to dominate every solve (BENCH_prefine.json); coarse
+// levels are cheap enough for the round stage plus a one-pass polish. The
+// salt is drawn from rng with exactly one draw per enabled finest level
+// whatever the worker count, so the RNG stream stays identical for all
+// LocalizedFMWorkers values >= 1. Disabled (< 1) or above the finest level,
+// it returns a unchanged and consumes nothing.
+func localizedRounds(p *partition.Problem, a partition.Assignment, cfg Config, lvl int, rng *rand.Rand, sc *fm.Scratch) (partition.Assignment, error) {
+	if cfg.LocalizedFMWorkers < 1 || lvl != 0 {
+		return a, nil
+	}
+	salt := rng.Uint64()
+	var res *fm.LocalizedResult
+	var err error
+	cfg.Stats.track(phaseRefineLocalized, func() {
+		res, err = fm.LocalizedRefineWith(p, a, fm.Config{Objective: cfg.Objective}, cfg.LocalizedFMWorkers, salt, sc)
 	})
 	if err != nil {
 		return nil, err
@@ -198,11 +226,15 @@ func parallelRounds(p *partition.Problem, a partition.Assignment, cfg Config, rn
 // polishConfig caps the serial FM polish to one pass at coarse levels while
 // the parallel round stage is on — the rounds replace the polish's repeated
 // passes there, and the remaining pass contributes the hill-climbing the
-// greedy rounds cannot. The finest level (lvl 0) always keeps the full
-// configured pass budget: the serial net-state-aware kernel stays the final
-// polish and the quality baseline.
+// greedy rounds cannot. The finest level (lvl 0) keeps the full configured
+// pass budget unless the localized FM stage is on: localized searches carry
+// the hill-climbing there, so the serial kernel shrinks to a short one-pass
+// tail that sweeps up whatever the bounded searches left behind.
 func polishConfig(fmCfg fm.Config, cfg Config, lvl int) fm.Config {
 	if cfg.RefineWorkers >= 1 && lvl > 0 {
+		fmCfg.MaxPasses = 1
+	}
+	if cfg.LocalizedFMWorkers >= 1 && lvl == 0 {
 		fmCfg.MaxPasses = 1
 	}
 	return fmCfg
@@ -232,11 +264,17 @@ type PhaseStats struct {
 	// RefineParallelNS is the wall time of the synchronous-round parallel
 	// refinement stage (Config.RefineWorkers); RefineNS keeps counting only
 	// the serial FM polish, so the two split the refinement phase.
-	RefineParallelNS     int64 `json:"refine_parallel_ns"`
-	CoarsenAllocs        int64 `json:"coarsen_allocs"`
-	InitAllocs           int64 `json:"init_allocs"`
-	RefineAllocs         int64 `json:"refine_allocs"`
-	RefineParallelAllocs int64 `json:"refine_parallel_allocs"`
+	RefineParallelNS int64 `json:"refine_parallel_ns"`
+	// RefineLocalizedNS is the wall time of the localized parallel FM stage
+	// (Config.LocalizedFMWorkers) at the finest level; RefineNS keeps
+	// counting only the serial FM tail, so the three refine counters split
+	// the refinement phase.
+	RefineLocalizedNS     int64 `json:"refine_localized_ns"`
+	CoarsenAllocs         int64 `json:"coarsen_allocs"`
+	InitAllocs            int64 `json:"init_allocs"`
+	RefineAllocs          int64 `json:"refine_allocs"`
+	RefineParallelAllocs  int64 `json:"refine_parallel_allocs"`
+	RefineLocalizedAllocs int64 `json:"refine_localized_allocs"`
 	// Kernel accumulates the FM kernel's net-state-aware work counters (nets
 	// skipped, pin scans avoided, bucket updates saved) across every FM run a
 	// descent performs; like the phase counters it is updated atomically.
@@ -245,7 +283,7 @@ type PhaseStats struct {
 
 // TotalNS returns the summed wall time across phases.
 func (st *PhaseStats) TotalNS() int64 {
-	return st.CoarsenNS + st.InitNS + st.RefineNS + st.RefineParallelNS
+	return st.CoarsenNS + st.InitNS + st.RefineNS + st.RefineParallelNS + st.RefineLocalizedNS
 }
 
 // kernelStats returns the kernel-counter sink of st, or nil when stats are
@@ -262,9 +300,10 @@ const (
 	phaseInit
 	phaseRefine
 	phaseRefineParallel
+	phaseRefineLocalized
 )
 
-var phaseLabels = [...]string{"coarsen", "init", "refine", "refine_parallel"}
+var phaseLabels = [...]string{"coarsen", "init", "refine", "refine_parallel", "refine_localized"}
 
 // track runs fn under a pprof goroutine label for the phase (so CPU/heap
 // profiles split by phase) and, when st is non-nil, accrues wall time and
@@ -292,6 +331,9 @@ func (st *PhaseStats) track(phase int, fn func()) {
 	case phaseRefineParallel:
 		atomic.AddInt64(&st.RefineParallelNS, dt)
 		atomic.AddInt64(&st.RefineParallelAllocs, da)
+	case phaseRefineLocalized:
+		atomic.AddInt64(&st.RefineLocalizedNS, dt)
+		atomic.AddInt64(&st.RefineLocalizedAllocs, da)
 	}
 }
 

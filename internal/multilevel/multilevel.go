@@ -89,6 +89,30 @@ type Config struct {
 	// CoarseningFingerprint — coarsening never depends on it, so cached
 	// hierarchies serve every value.
 	RefineWorkers int
+	// RefineSideways lets the synchronous-round stage additionally commit
+	// zero-gain moves that strictly improve balance (sender minus receiver
+	// weight exceeds the vertex weight on the primary resource), closing the
+	// "rounds commit only strictly-positive gains" gap: the rounds can now
+	// rebalance as well as descend. Off by default — the zero value
+	// reproduces the PR 8 round stage bit for bit. It only has effect while
+	// RefineWorkers >= 1, and preserves the stage's determinism contract:
+	// results stay bit-identical for every worker count >= 1.
+	RefineSideways bool
+	// LocalizedFMWorkers enables the deterministic localized parallel FM
+	// stage (fm.LocalizedRefine) at the finest level of every descent:
+	// bounded FM searches seeded from boundary vertices run on this many
+	// workers and replace the full-budget serial polish there, which drops to
+	// a single-pass serial tail. <= 0 disables the stage — the finest level
+	// keeps the full configured serial polish, bit for bit the seed pipeline.
+	// Any value >= 1 produces bit-identical results to every other value
+	// >= 1 (searches are pure functions of the round-start state and batch
+	// index; the work queue only balances load), but enabling the stage does
+	// change results relative to off: the searches commit their own move
+	// sequence and draw one RNG value at the finest level of each descent.
+	// Like CoarsenWorkers and RefineWorkers it is excluded from
+	// CoarseningFingerprint — coarsening never depends on it, so cached
+	// hierarchies serve every value.
+	LocalizedFMWorkers int
 	// Stats, when non-nil, accumulates per-phase wall time and heap
 	// allocation counts (coarsen / initial partitioning / refinement) over
 	// every descent run with this config. Counters are updated atomically;

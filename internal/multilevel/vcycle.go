@@ -67,6 +67,9 @@ func VCycle(p *partition.Problem, a partition.Assignment, cfg Config, rng *rand.
 		if sol, err = parallelRounds(levels[lvl].problem, sol, cfg, rng, sc); err != nil {
 			return nil, fmt.Errorf("multilevel: V-cycle refining level %d: %w", lvl, err)
 		}
+		if sol, err = localizedRounds(levels[lvl].problem, sol, cfg, lvl, rng, sc); err != nil {
+			return nil, fmt.Errorf("multilevel: V-cycle refining level %d: %w", lvl, err)
+		}
 		lvlCfg := polishConfig(fmCfg, cfg, lvl)
 		var refined partition.Assignment
 		if p.K == 2 {

@@ -88,6 +88,18 @@ type Request struct {
 	// sequence than the serial-only refinement a server whose default is 0
 	// runs; see multilevel.Config.RefineWorkers.
 	RefineWorkers int `json:"refine_workers,omitempty"`
+	// LocalizedFMWorkers enables the deterministic localized FM stage at the
+	// finest level of each descent and sets its worker count (default: the
+	// server's -localized-fm-workers flag; 0 defers to that default,
+	// negative is rejected, values above GOMAXPROCS are clamped). Every
+	// count >= 1 returns bit-identical results, so like the other worker
+	// knobs the field stays out of the hierarchy-cache key. Switching the
+	// stage on at all (any count >= 1) replaces most of the finest-level
+	// serial polish with bounded localized searches plus a one-pass tail —
+	// a different, typically faster, comparably good move sequence than a
+	// server whose default is 0 runs; see
+	// multilevel.Config.LocalizedFMWorkers.
+	LocalizedFMWorkers int `json:"localized_fm_workers,omitempty"`
 	// TimeoutMS bounds the run's wall clock; a run cut short returns the
 	// best completed result with "truncated": true (or 504 if nothing
 	// finished). 0 means the server default; values above the server
@@ -158,9 +170,13 @@ type Response struct {
 	// RefineWorkers is the effective parallel-refinement worker count after
 	// defaulting and the GOMAXPROCS clamp; 0 means the stage was off and
 	// refinement ran on the serial kernel alone.
-	RefineWorkers int       `json:"refine_workers"`
-	ElapsedMS     float64   `json:"elapsed_ms"`
-	PartWeights   [][]int64 `json:"part_weights"`
+	RefineWorkers int `json:"refine_workers"`
+	// LocalizedFMWorkers is the effective localized-FM worker count after
+	// defaulting and the GOMAXPROCS clamp; 0 means the stage was off and the
+	// finest level ran the full serial polish.
+	LocalizedFMWorkers int       `json:"localized_fm_workers"`
+	ElapsedMS          float64   `json:"elapsed_ms"`
+	PartWeights        [][]int64 `json:"part_weights"`
 	// Phases carries the run's per-phase wall time, allocation and FM-kernel
 	// counters (zero coarsen time is the signature of a cache hit).
 	Phases *multilevel.PhaseStats `json:"phases,omitempty"`
@@ -227,6 +243,13 @@ func (r Request) withDefaults(cfg Config) Request {
 	if max := runtime.GOMAXPROCS(0); r.RefineWorkers > max {
 		r.RefineWorkers = max
 	}
+	if r.LocalizedFMWorkers == 0 {
+		r.LocalizedFMWorkers = cfg.LocalizedFMWorkers
+	}
+	// And for localized FM workers, for the same reason.
+	if max := runtime.GOMAXPROCS(0); r.LocalizedFMWorkers > max {
+		r.LocalizedFMWorkers = max
+	}
 	return r
 }
 
@@ -258,6 +281,9 @@ func (r Request) validate(cfg Config) error {
 	}
 	if r.RefineWorkers < 0 {
 		return fmt.Errorf("refine_workers %d is negative", r.RefineWorkers)
+	}
+	if r.LocalizedFMWorkers < 0 {
+		return fmt.Errorf("localized_fm_workers %d is negative", r.LocalizedFMWorkers)
 	}
 	if r.Starts > cfg.MaxStarts {
 		return fmt.Errorf("starts %d exceeds server limit %d", r.Starts, cfg.MaxStarts)
@@ -310,9 +336,10 @@ func (e errTooLarge) Error() string { return e.msg }
 // itself, keeping hierarchy construction a pure function of the key.
 // coarsen_workers is deliberately absent: it never changes the hierarchies
 // (CoarseningFingerprint excludes it for the same reason), so entries built
-// at any worker count serve every request. refine_workers is absent for the
-// same reason — the round stage runs strictly after coarsening, so cached
-// hierarchies serve every value, stage off included. The objective IS in the key,
+// at any worker count serve every request. refine_workers and
+// localized_fm_workers are absent for the same reason — the round and
+// localized stages run strictly after coarsening, so cached hierarchies
+// serve every value, stage off included. The objective IS in the key,
 // conservatively: coarsening never consults it (CoarseningFingerprint
 // excludes it), but separating cut and km1 entries keeps every cached
 // answer trivially attributable to one objective's request stream.

@@ -45,12 +45,16 @@ type metrics struct {
 	// stage; refineNS counts only the serial FM polish, mirroring
 	// PhaseStats.
 	refineParNS int64
-	// coarsenWorkers / refineWorkers are the effective per-descent worker
-	// counts of the most recent completed run (after defaulting and the
-	// GOMAXPROCS clamp).
-	coarsenWorkers int64
-	refineWorkers  int64
-	kernel         fm.KernelStats
+	// refineLocNS accumulates the localized FM stage at the finest level,
+	// again mirroring PhaseStats.
+	refineLocNS int64
+	// coarsenWorkers / refineWorkers / localizedFMWorkers are the effective
+	// per-descent worker counts of the most recent completed run (after
+	// defaulting and the GOMAXPROCS clamp).
+	coarsenWorkers     int64
+	refineWorkers      int64
+	localizedFMWorkers int64
+	kernel             fm.KernelStats
 }
 
 func newMetrics() *metrics {
@@ -90,13 +94,14 @@ func (m *metrics) observeRejected(reason string) {
 // counters: starts actually executed, truncation, the objective optimized,
 // the effective coarsening worker count, and the per-phase wall time and
 // FM-kernel work the run recorded in its private PhaseStats.
-func (m *metrics) observeRun(res *multilevel.Result, phases *multilevel.PhaseStats, coarsenWorkers, refineWorkers int, objective string) {
+func (m *metrics) observeRun(res *multilevel.Result, phases *multilevel.PhaseStats, coarsenWorkers, refineWorkers, localizedFMWorkers int, objective string) {
 	atomic.AddInt64(&m.starts, int64(res.Starts))
 	m.mu.Lock()
 	m.objective[objective]++
 	m.mu.Unlock()
 	atomic.StoreInt64(&m.coarsenWorkers, int64(coarsenWorkers))
 	atomic.StoreInt64(&m.refineWorkers, int64(refineWorkers))
+	atomic.StoreInt64(&m.localizedFMWorkers, int64(localizedFMWorkers))
 	if res.Truncated {
 		atomic.AddInt64(&m.truncated, 1)
 	}
@@ -105,6 +110,7 @@ func (m *metrics) observeRun(res *multilevel.Result, phases *multilevel.PhaseSta
 		atomic.AddInt64(&m.initNS, atomic.LoadInt64(&phases.InitNS))
 		atomic.AddInt64(&m.refineNS, atomic.LoadInt64(&phases.RefineNS))
 		atomic.AddInt64(&m.refineParNS, atomic.LoadInt64(&phases.RefineParallelNS))
+		atomic.AddInt64(&m.refineLocNS, atomic.LoadInt64(&phases.RefineLocalizedNS))
 		k := phases.Kernel.Snapshot()
 		atomic.AddInt64(&m.kernel.NetsSkipped, k.NetsSkipped)
 		atomic.AddInt64(&m.kernel.PinScansAvoided, k.PinScansAvoided)
@@ -195,12 +201,16 @@ func (m *metrics) writeTo(w io.Writer, cache cacheStats) {
 	fmt.Fprintf(w, "hpartd_phase_seconds_total{phase=\"init\"} %g\n", float64(atomic.LoadInt64(&m.initNS))/1e9)
 	fmt.Fprintf(w, "hpartd_phase_seconds_total{phase=\"refine\"} %g\n", float64(atomic.LoadInt64(&m.refineNS))/1e9)
 	fmt.Fprintf(w, "hpartd_phase_seconds_total{phase=\"refine_parallel\"} %g\n", float64(atomic.LoadInt64(&m.refineParNS))/1e9)
+	fmt.Fprintf(w, "hpartd_phase_seconds_total{phase=\"refine_localized\"} %g\n", float64(atomic.LoadInt64(&m.refineLocNS))/1e9)
 
 	gauge("hpartd_coarsen_workers", "Effective intra-descent coarsening parallelism of the most recent run.", atomic.LoadInt64(&m.coarsenWorkers))
 	counter("hpartd_coarsen_phase_ns_total", "Coarsening-phase wall time in nanoseconds across all runs.", atomic.LoadInt64(&m.coarsenNS))
 
 	gauge("hpartd_refine_workers", "Effective parallel-refinement worker count of the most recent run (0 = stage off).", atomic.LoadInt64(&m.refineWorkers))
 	counter("hpartd_refine_phase_ns_total", "Parallel-refinement-stage wall time in nanoseconds across all runs (serial polish excluded).", atomic.LoadInt64(&m.refineParNS))
+
+	gauge("hpartd_localized_fm_workers", "Effective localized-FM worker count of the most recent run (0 = stage off).", atomic.LoadInt64(&m.localizedFMWorkers))
+	counter("hpartd_localized_fm_phase_ns_total", "Localized-FM-stage wall time in nanoseconds across all runs.", atomic.LoadInt64(&m.refineLocNS))
 
 	k := m.kernel.Snapshot()
 	counter("hpartd_fm_nets_skipped_total", "Nets bypassed by locked-net short-circuiting in the FM kernel.", k.NetsSkipped)

@@ -48,6 +48,14 @@ type Config struct {
 	// bit-identical to every other, but switching the stage on at all
 	// changes results versus 0 — see multilevel.Config.RefineWorkers.
 	RefineWorkers int
+	// LocalizedFMWorkers is the default worker count for the localized FM
+	// stage at the finest level of each descent (default 0: the stage is off
+	// and the finest level runs the full serial polish, the historical
+	// behavior). Requests may override with "localized_fm_workers"; either
+	// way the value is clamped to GOMAXPROCS. Every count >= 1 is
+	// bit-identical to every other, but switching the stage on at all
+	// changes results versus 0 — see multilevel.Config.LocalizedFMWorkers.
+	LocalizedFMWorkers int
 	// CacheEntries is the hierarchy-cache capacity in instances
 	// (default 32).
 	CacheEntries int
@@ -81,6 +89,11 @@ func (c Config) withDefaults() Config {
 	// would turn every defaulted request into a 400, so normalize it away.
 	if c.RefineWorkers < 0 {
 		c.RefineWorkers = 0
+	}
+	// Same for LocalizedFMWorkers: zero means stage off, negative normalizes
+	// to off rather than poisoning defaulted requests.
+	if c.LocalizedFMWorkers < 0 {
+		c.LocalizedFMWorkers = 0
 	}
 	if c.CacheEntries < 1 {
 		c.CacheEntries = 32
@@ -329,6 +342,7 @@ func (s *Server) run(ctx context.Context, req Request) (*Response, int, string) 
 		RefineWorkers:   req.RefineWorkers,
 		Stats:           phases,
 	}
+	mlCfg.LocalizedFMWorkers = req.LocalizedFMWorkers
 	if req.Policy == "lifo" {
 		mlCfg.SetPolicy(fm.LIFO)
 	} else {
@@ -401,7 +415,7 @@ func (s *Server) run(ctx context.Context, req Request) (*Response, int, string) 
 		}
 		return nil, http.StatusUnprocessableEntity, err.Error()
 	}
-	s.metrics.observeRun(res, phases, req.CoarsenWorkers, req.RefineWorkers, objective.String())
+	s.metrics.observeRun(res, phases, req.CoarsenWorkers, req.RefineWorkers, req.LocalizedFMWorkers, objective.String())
 	if ferr := prob.Feasible(res.Assignment); ferr != nil {
 		return nil, http.StatusInternalServerError, "internal error: infeasible result: " + ferr.Error()
 	}
@@ -411,26 +425,27 @@ func (s *Server) run(ctx context.Context, req Request) (*Response, int, string) 
 		assignment[v] = int(part)
 	}
 	return &Response{
-		Instance:        name,
-		Vertices:        prob.H.NumVertices(),
-		Nets:            prob.H.NumNets(),
-		Pins:            prob.H.NumPins(),
-		K:               prob.K,
-		Fixed:           prob.NumFixed(),
-		Cut:             res.Cut,
-		KMinus1:         res.KMinus1,
-		SOED:            res.SOED,
-		Objective:       objective.String(),
-		Assignment:      assignment,
-		Starts:          res.Starts,
-		RequestedStarts: req.Starts,
-		Truncated:       res.Truncated,
-		Levels:          res.Levels,
-		Cache:           cacheKind,
-		CoarsenWorkers:  req.CoarsenWorkers,
-		RefineWorkers:   req.RefineWorkers,
-		PartWeights:     partition.PartWeights(prob.H, res.Assignment, prob.K),
-		Phases:          phases,
+		Instance:           name,
+		Vertices:           prob.H.NumVertices(),
+		Nets:               prob.H.NumNets(),
+		Pins:               prob.H.NumPins(),
+		K:                  prob.K,
+		Fixed:              prob.NumFixed(),
+		Cut:                res.Cut,
+		KMinus1:            res.KMinus1,
+		SOED:               res.SOED,
+		Objective:          objective.String(),
+		Assignment:         assignment,
+		Starts:             res.Starts,
+		RequestedStarts:    req.Starts,
+		Truncated:          res.Truncated,
+		Levels:             res.Levels,
+		Cache:              cacheKind,
+		CoarsenWorkers:     req.CoarsenWorkers,
+		RefineWorkers:      req.RefineWorkers,
+		LocalizedFMWorkers: req.LocalizedFMWorkers,
+		PartWeights:        partition.PartWeights(prob.H, res.Assignment, prob.K),
+		Phases:             phases,
 	}, 0, ""
 }
 
