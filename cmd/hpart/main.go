@@ -1,6 +1,6 @@
-// Command hpart partitions a fixed-terminals benchmark bundle
-// (base.net/.are/.blk/.fix, as written by genbench or bookshelf.WriteProblem)
-// and reports the cut.
+// Command hpart partitions a fixed-terminals instance — a Bookshelf
+// benchmark bundle (base.net/.are/.blk/.fix, as written by genbench or
+// bookshelf.WriteProblem) or an hMetis .hgr file — and reports the cut.
 //
 // Usage:
 //
@@ -10,6 +10,23 @@
 //	      [-localized-fm-workers 1]
 //	      [-shared-coarsen] [-hierarchies 2] [-stats] [-cpuprofile cpu.pprof]
 //	      [-memprofile mem.pprof] [-out solution.sol]
+//
+//	hpart -hgr circuit.hgr [-fix circuit.fix] [-k 2] [-tol 0.02]
+//	      [-fix-fraction 0.2] [-fix-seed 1] [-write-fix chosen.fix]
+//	      [-write-parts circuit.part] [engine flags as above]
+//
+// The two input modes are mutually exclusive. -hgr reads an hMetis .hgr
+// netlist (fmt codes 0, 1, 10, 11); -fix adds KaHyPar-style fixed-vertex
+// constraints (-1 per free vertex, a part id to fix, several ids for an
+// OR-region); -k and -tol pose the instance, since unlike a Bookshelf bundle
+// the exchange formats carry neither. -fix-fraction synthesizes a
+// deterministic paper-style fixed-terminals regime on top (seeded by
+// -fix-seed, identical to the hpartd fix_fraction field), and -write-fix
+// saves the synthesized constraints so a study can be re-run or shared.
+// -write-parts writes the winning assignment in the standard partition-file
+// form (one part id per line) in either input mode; -out writes a Bookshelf
+// .sol. See FORMATS.md for all grammars and EXPERIMENTS.md for the
+// benchmark-suite workflow.
 //
 // -objective selects the metric runs optimize and the best start is chosen
 // by: "cut" (default, the paper's weighted net cut) or "km1"
@@ -52,42 +69,86 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand/v2"
 	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
 	"repro/internal/bookshelf"
 	"repro/internal/fm"
+	"repro/internal/hgr"
 	"repro/internal/multilevel"
 	"repro/internal/partition"
 	"repro/internal/profiling"
 )
 
+// options collects every run knob; flag parsing in main fills one, tests
+// build them directly.
+type options struct {
+	// Bookshelf-bundle input mode.
+	dir  string
+	base string
+
+	// Exchange-format input mode (mutually exclusive with base).
+	hgrPath     string
+	fixPath     string
+	k           int
+	tol         float64
+	fixFraction float64
+	fixSeed     uint64
+	writeFix    string
+
+	engine           string
+	kway             string
+	objective        string
+	starts           int
+	cutoff           float64
+	seed             uint64
+	workers          int
+	coarsenWorkers   int
+	refineWorkers    int
+	localizedWorkers int
+	shared           bool
+	hierarchies      int
+	stats            bool
+
+	out        string
+	writeParts string
+}
+
 func main() {
-	var (
-		dir         = flag.String("dir", ".", "directory holding the benchmark bundle")
-		base        = flag.String("base", "", "bundle base name (required)")
-		engine      = flag.String("engine", "ml", "partitioning engine: ml (multilevel CLIP), lifo or clip (flat FM)")
-		kway        = flag.String("kway", "direct", "k>2 strategy for the ml engine: direct (k-way V-cycle) or rb (recursive bisection)")
-		objective   = flag.String("objective", "cut", "metric to optimize and select by: cut or km1")
-		starts      = flag.Int("starts", 1, "independent starts; the best result is kept")
-		cutoff      = flag.Float64("cutoff", 1, "pass cutoff fraction after the first pass (1 = none)")
-		seed        = flag.Uint64("seed", 1, "random seed")
-		workers     = flag.Int("workers", 0, "goroutines for parallel multistart (0 = GOMAXPROCS)")
-		coarsenW    = flag.Int("coarsen-workers", 1, "goroutines inside each coarsening descent (0 = GOMAXPROCS; never changes results)")
-		refineW     = flag.Int("refine-workers", 1, "parallel-refinement workers per descent (0 disables the round stage; counts >= 1 are bit-identical; clamped to GOMAXPROCS)")
-		localizedW  = flag.Int("localized-fm-workers", 1, "localized-FM workers at the finest level (0 disables the stage; counts >= 1 are bit-identical; clamped to GOMAXPROCS)")
-		shared      = flag.Bool("shared-coarsen", false, "share coarsening hierarchies across ml starts (2-way only)")
-		hierarchies = flag.Int("hierarchies", 2, "shared hierarchies to build with -shared-coarsen")
-		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
-		stats       = flag.Bool("stats", false, "print per-phase timings and FM kernel work counters after the run")
-		out         = flag.String("out", "", "write the best assignment to this file")
-	)
+	var o options
+	flag.StringVar(&o.dir, "dir", ".", "directory holding the benchmark bundle")
+	flag.StringVar(&o.base, "base", "", "bundle base name (required unless -hgr is given)")
+	flag.StringVar(&o.hgrPath, "hgr", "", "hMetis .hgr netlist to partition instead of a bundle")
+	flag.StringVar(&o.fixPath, "fix", "", "KaHyPar-style fixed-vertex file for the -hgr netlist")
+	flag.IntVar(&o.k, "k", 2, "number of parts for -hgr instances (bundles carry their own)")
+	flag.Float64Var(&o.tol, "tol", 0.02, "balance tolerance for -hgr instances (bundles carry their own)")
+	flag.Float64Var(&o.fixFraction, "fix-fraction", 0, "fix this fraction of vertices deterministically (seeded shuffle, round-robin parts)")
+	flag.Uint64Var(&o.fixSeed, "fix-seed", 1, "seed for -fix-fraction's vertex choice")
+	flag.StringVar(&o.writeFix, "write-fix", "", "write the instance's effective constraints as a .fix file")
+	flag.StringVar(&o.engine, "engine", "ml", "partitioning engine: ml (multilevel CLIP), lifo or clip (flat FM)")
+	flag.StringVar(&o.kway, "kway", "direct", "k>2 strategy for the ml engine: direct (k-way V-cycle) or rb (recursive bisection)")
+	flag.StringVar(&o.objective, "objective", "cut", "metric to optimize and select by: cut or km1")
+	flag.IntVar(&o.starts, "starts", 1, "independent starts; the best result is kept")
+	flag.Float64Var(&o.cutoff, "cutoff", 1, "pass cutoff fraction after the first pass (1 = none)")
+	flag.Uint64Var(&o.seed, "seed", 1, "random seed")
+	flag.IntVar(&o.workers, "workers", 0, "goroutines for parallel multistart (0 = GOMAXPROCS)")
+	flag.IntVar(&o.coarsenWorkers, "coarsen-workers", 1, "goroutines inside each coarsening descent (0 = GOMAXPROCS; never changes results)")
+	flag.IntVar(&o.refineWorkers, "refine-workers", 1, "parallel-refinement workers per descent (0 disables the round stage; counts >= 1 are bit-identical; clamped to GOMAXPROCS)")
+	flag.IntVar(&o.localizedWorkers, "localized-fm-workers", 1, "localized-FM workers at the finest level (0 disables the stage; counts >= 1 are bit-identical; clamped to GOMAXPROCS)")
+	flag.BoolVar(&o.shared, "shared-coarsen", false, "share coarsening hierarchies across ml starts (2-way only)")
+	flag.IntVar(&o.hierarchies, "hierarchies", 2, "shared hierarchies to build with -shared-coarsen")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	flag.BoolVar(&o.stats, "stats", false, "print per-phase timings and FM kernel work counters after the run")
+	flag.StringVar(&o.out, "out", "", "write the best assignment as a Bookshelf .sol file")
+	flag.StringVar(&o.writeParts, "write-parts", "", "write the best assignment as a partition file (one part id per line)")
 	flag.Parse()
-	if *base == "" {
-		fmt.Fprintln(os.Stderr, "hpart: -base is required")
+	if o.base == "" && o.hgrPath == "" {
+		fmt.Fprintln(os.Stderr, "hpart: one of -base and -hgr is required")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -96,7 +157,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hpart:", err)
 		os.Exit(1)
 	}
-	err = run(*dir, *base, *engine, *kway, *objective, *starts, *cutoff, *seed, *workers, *coarsenW, *refineW, *localizedW, *shared, *hierarchies, *stats, *out)
+	err = run(o)
 	stop()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hpart:", err)
@@ -104,69 +165,134 @@ func main() {
 	}
 }
 
-func run(dir, base, engine, kway, objective string, starts int, cutoff float64, seed uint64, workers, coarsenWorkers, refineWorkers, localizedWorkers int, shared bool, hierarchies int, stats bool, out string) error {
-	obj, err := fm.ParseObjective(objective)
+// loadProblem materializes the instance the options describe from whichever
+// input mode is selected, returning it with a display name.
+func loadProblem(o options) (*partition.Problem, string, error) {
+	if o.hgrPath != "" {
+		if o.base != "" {
+			return nil, "", fmt.Errorf("-base and -hgr are mutually exclusive")
+		}
+		hf, err := os.Open(o.hgrPath)
+		if err != nil {
+			return nil, "", err
+		}
+		defer hf.Close()
+		var fixR io.Reader
+		if o.fixPath != "" {
+			ff, err := os.Open(o.fixPath)
+			if err != nil {
+				return nil, "", err
+			}
+			defer ff.Close()
+			fixR = ff
+		}
+		p, err := hgr.ReadProblem(hf, fixR, o.k, o.tol)
+		if err != nil {
+			return nil, "", err
+		}
+		return p, filepath.Base(o.hgrPath), nil
+	}
+	if o.fixPath != "" {
+		return nil, "", fmt.Errorf("-fix applies to -hgr input only (bundles carry constraints in base.fix)")
+	}
+	p, err := bookshelf.ReadProblem(o.dir, o.base)
+	if err != nil {
+		return nil, "", err
+	}
+	return p, o.base, nil
+}
+
+func run(o options) error {
+	obj, err := fm.ParseObjective(o.objective)
 	if err != nil {
 		return err
 	}
-	p, err := bookshelf.ReadProblem(dir, base)
+	p, name, err := loadProblem(o)
 	if err != nil {
 		return err
+	}
+	if o.fixFraction < 0 || o.fixFraction > 1 {
+		return fmt.Errorf("-fix-fraction %v outside [0, 1]", o.fixFraction)
+	}
+	if o.fixFraction > 0 {
+		partition.ApplyFixFraction(p, o.fixFraction, o.fixSeed)
+		// Synthesized fixes can overfill a part just like a hostile .fix
+		// file; diagnose that here rather than mid-solve.
+		if err := hgr.CheckFeasible(p); err != nil {
+			return err
+		}
+	}
+	if o.writeFix != "" {
+		f, err := os.Create(o.writeFix)
+		if err != nil {
+			return err
+		}
+		werr := hgr.WriteFix(f, p)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		fmt.Printf("wrote %s\n", o.writeFix)
 	}
 	fmt.Printf("instance %s: %v, k=%d, fixed=%d (%.1f%%)\n",
-		base, p.H, p.K, p.NumFixed(), 100*p.FixedFraction())
-	if shared && (engine != "ml" || p.K != 2) {
-		return fmt.Errorf("-shared-coarsen requires the ml engine on a 2-way bundle (engine=%s, k=%d)", engine, p.K)
+		name, p.H, p.K, p.NumFixed(), 100*p.FixedFraction())
+	if o.shared && (o.engine != "ml" || p.K != 2) {
+		return fmt.Errorf("-shared-coarsen requires the ml engine on a 2-way instance (engine=%s, k=%d)", o.engine, p.K)
 	}
-	rng := rand.New(rand.NewPCG(seed, 0x42))
+	rng := rand.New(rand.NewPCG(o.seed, 0x42))
 	t0 := time.Now()
 	var best partition.Assignment
 	var score int64 // the winning assignment's value under -objective
 	var phases *multilevel.PhaseStats
 	var flatKernel fm.KernelStats
-	if stats {
+	if o.stats {
 		phases = &multilevel.PhaseStats{}
 	}
-	switch engine {
+	switch o.engine {
 	case "ml":
+		coarsenWorkers := o.coarsenWorkers
 		if coarsenWorkers == 0 {
 			coarsenWorkers = runtime.GOMAXPROCS(0)
 		}
+		refineWorkers := o.refineWorkers
 		if max := runtime.GOMAXPROCS(0); refineWorkers > max {
 			refineWorkers = max
 		}
+		localizedWorkers := o.localizedWorkers
 		if max := runtime.GOMAXPROCS(0); localizedWorkers > max {
 			localizedWorkers = max
 		}
-		cfg := multilevel.Config{Objective: obj, MaxPassFraction: passFraction(cutoff), Workers: workers, CoarsenWorkers: coarsenWorkers, RefineWorkers: refineWorkers, LocalizedFMWorkers: localizedWorkers, Stats: phases}
+		cfg := multilevel.Config{Objective: obj, MaxPassFraction: passFraction(o.cutoff), Workers: o.workers, CoarsenWorkers: coarsenWorkers, RefineWorkers: refineWorkers, LocalizedFMWorkers: localizedWorkers, Stats: phases}
 		switch {
-		case p.K == 2 && shared:
-			res, err := multilevel.ParallelSharedMultistart(p, cfg, starts, hierarchies, rng)
+		case p.K == 2 && o.shared:
+			res, err := multilevel.ParallelSharedMultistart(p, cfg, o.starts, o.hierarchies, rng)
 			if err != nil {
 				return err
 			}
 			best, score = res.Assignment, res.Score
 		case p.K == 2:
-			res, err := multilevel.ParallelMultistart(p, cfg, starts, rng)
+			res, err := multilevel.ParallelMultistart(p, cfg, o.starts, rng)
 			if err != nil {
 				return err
 			}
 			best, score = res.Assignment, res.Score
-		case kway == "direct":
-			res, err := multilevel.ParallelMultistartKWay(p, cfg, starts, rng)
+		case o.kway == "direct":
+			res, err := multilevel.ParallelMultistartKWay(p, cfg, o.starts, rng)
 			if err != nil {
 				return err
 			}
 			best, score = res.Assignment, res.Score
-		case kway == "rb":
+		case o.kway == "rb":
 			// Recursive bisection per start, then direct k-way FM polish on
 			// the full problem.
-			for s := 0; s < starts; s++ {
+			for s := 0; s < o.starts; s++ {
 				res, err := multilevel.RecursiveBisect(p, cfg, rng)
 				if err != nil {
 					return err
 				}
-				ref, err := fm.KWayPartition(p, res.Assignment, fm.Config{Policy: fm.CLIP, Objective: obj, MaxPassFraction: passFraction(cutoff), Stats: flatStats(stats, &flatKernel)})
+				ref, err := fm.KWayPartition(p, res.Assignment, fm.Config{Policy: fm.CLIP, Objective: obj, MaxPassFraction: passFraction(o.cutoff), Stats: flatStats(o.stats, &flatKernel)})
 				if err != nil {
 					return err
 				}
@@ -175,15 +301,15 @@ func run(dir, base, engine, kway, objective string, starts int, cutoff float64, 
 				}
 			}
 		default:
-			return fmt.Errorf("unknown -kway mode %q (want direct or rb)", kway)
+			return fmt.Errorf("unknown -kway mode %q (want direct or rb)", o.kway)
 		}
 	case "lifo", "clip":
 		policy := fm.LIFO
-		if engine == "clip" {
+		if o.engine == "clip" {
 			policy = fm.CLIP
 		}
-		cfg := fm.Config{Policy: policy, Objective: obj, MaxPassFraction: passFraction(cutoff), Stats: flatStats(stats, &flatKernel)}
-		for s := 0; s < starts; s++ {
+		cfg := fm.Config{Policy: policy, Objective: obj, MaxPassFraction: passFraction(o.cutoff), Stats: flatStats(o.stats, &flatKernel)}
+		for s := 0; s < o.starts; s++ {
 			var a partition.Assignment
 			var c int64
 			if p.K == 2 {
@@ -208,20 +334,20 @@ func run(dir, base, engine, kway, objective string, starts int, cutoff float64, 
 			}
 		}
 	default:
-		return fmt.Errorf("unknown engine %q", engine)
+		return fmt.Errorf("unknown engine %q", o.engine)
 	}
 	fmt.Printf("best %s over %d start(s): %d   (%.1f ms)\n",
-		obj, starts, score, float64(time.Since(t0).Microseconds())/1000)
+		obj, o.starts, score, float64(time.Since(t0).Microseconds())/1000)
 	fmt.Printf("objectives: cut=%d km1=%d soed=%d\n",
 		partition.Cut(p.H, best), partition.KMinus1(p.H, best), partition.SOED(p.H, best))
-	if stats {
+	if o.stats {
 		printStats(phases, &flatKernel)
 	}
 	if err := p.Feasible(best); err != nil {
 		return fmt.Errorf("internal error: result infeasible: %w", err)
 	}
-	if out != "" {
-		f, err := os.Create(out)
+	if o.out != "" {
+		f, err := os.Create(o.out)
 		if err != nil {
 			return err
 		}
@@ -229,7 +355,21 @@ func run(dir, base, engine, kway, objective string, starts int, cutoff float64, 
 		if err := bookshelf.WriteSolution(f, p, best); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s\n", out)
+		fmt.Printf("wrote %s\n", o.out)
+	}
+	if o.writeParts != "" {
+		f, err := os.Create(o.writeParts)
+		if err != nil {
+			return err
+		}
+		werr := hgr.WriteParts(f, best)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		fmt.Printf("wrote %s\n", o.writeParts)
 	}
 	return nil
 }

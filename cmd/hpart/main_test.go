@@ -4,10 +4,13 @@ import (
 	"math/rand/v2"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/bookshelf"
 	"repro/internal/gen"
+	"repro/internal/hgr"
+	"repro/internal/hypergraph"
 	"repro/internal/partition"
 )
 
@@ -32,11 +35,26 @@ func writeBundle(t *testing.T, dir, base string) *partition.Problem {
 	return p
 }
 
+// testOpts mirrors the flag defaults plus the worker counts the old tests
+// pinned; individual tests override fields from here.
+func testOpts(dir, base string) options {
+	return options{
+		dir: dir, base: base, k: 2, tol: 0.02, fixSeed: 1,
+		engine: "ml", kway: "direct", objective: "cut",
+		starts: 1, cutoff: 1, seed: 1,
+		coarsenWorkers: 1, refineWorkers: 1, localizedWorkers: 1,
+		hierarchies: 2,
+	}
+}
+
 func TestRunMultilevel(t *testing.T) {
 	dir := t.TempDir()
 	p := writeBundle(t, dir, "tiny")
 	out := filepath.Join(dir, "tiny.sol")
-	if err := run(dir, "tiny", "ml", "direct", "cut", 2, 1, 1, 2, 2, 2, 2, false, 2, false, out); err != nil {
+	o := testOpts(dir, "tiny")
+	o.starts, o.workers, o.coarsenWorkers, o.refineWorkers, o.localizedWorkers = 2, 2, 2, 2, 2
+	o.out = out
+	if err := run(o); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	f, err := os.Open(out)
@@ -60,7 +78,10 @@ func TestRunSharedCoarsen(t *testing.T) {
 	dir := t.TempDir()
 	p := writeBundle(t, dir, "tiny")
 	out := filepath.Join(dir, "tiny_shared.sol")
-	if err := run(dir, "tiny", "ml", "direct", "cut", 4, 1, 1, 2, 2, 2, 2, true, 2, false, out); err != nil {
+	o := testOpts(dir, "tiny")
+	o.starts, o.workers, o.coarsenWorkers, o.refineWorkers, o.localizedWorkers = 4, 2, 2, 2, 2
+	o.shared, o.out = true, out
+	if err := run(o); err != nil {
 		t.Fatalf("run -shared-coarsen: %v", err)
 	}
 	f, err := os.Open(out)
@@ -75,7 +96,9 @@ func TestRunSharedCoarsen(t *testing.T) {
 	if err := p.Feasible(a); err != nil {
 		t.Errorf("shared solution infeasible: %v", err)
 	}
-	if err := run(dir, "tiny", "clip", "direct", "cut", 1, 1, 1, 1, 1, 0, 0, true, 2, false, ""); err == nil {
+	bad := testOpts(dir, "tiny")
+	bad.engine, bad.refineWorkers, bad.localizedWorkers, bad.shared = "clip", 0, 0, true
+	if err := run(bad); err == nil {
 		t.Error("want error for -shared-coarsen with a flat engine")
 	}
 }
@@ -86,7 +109,11 @@ func TestRunObjectiveKM1(t *testing.T) {
 	dir := t.TempDir()
 	p := writeBundle(t, dir, "tiny")
 	out := filepath.Join(dir, "tiny_km1.sol")
-	if err := run(dir, "tiny", "ml", "direct", "km1", 2, 1, 1, 2, 2, 2, 2, false, 2, false, out); err != nil {
+	o := testOpts(dir, "tiny")
+	o.objective = "km1"
+	o.starts, o.workers, o.coarsenWorkers, o.refineWorkers, o.localizedWorkers = 2, 2, 2, 2, 2
+	o.out = out
+	if err := run(o); err != nil {
 		t.Fatalf("run -objective km1: %v", err)
 	}
 	f, err := os.Open(out)
@@ -101,10 +128,14 @@ func TestRunObjectiveKM1(t *testing.T) {
 	if err := p.Feasible(a); err != nil {
 		t.Errorf("km1 solution infeasible: %v", err)
 	}
-	if err := run(dir, "tiny", "clip", "direct", "km1", 1, 1, 1, 1, 1, 0, 0, false, 2, false, ""); err != nil {
+	flat := testOpts(dir, "tiny")
+	flat.engine, flat.objective, flat.refineWorkers, flat.localizedWorkers = "clip", "km1", 0, 0
+	if err := run(flat); err != nil {
 		t.Errorf("flat engine with -objective km1: %v", err)
 	}
-	if err := run(dir, "tiny", "ml", "direct", "wirelength", 1, 1, 1, 1, 1, 0, 0, false, 2, false, ""); err == nil {
+	bad := testOpts(dir, "tiny")
+	bad.objective = "wirelength"
+	if err := run(bad); err == nil {
 		t.Error("want error for unknown objective")
 	}
 }
@@ -113,7 +144,10 @@ func TestRunFlatEngines(t *testing.T) {
 	dir := t.TempDir()
 	writeBundle(t, dir, "tiny")
 	for _, engine := range []string{"lifo", "clip"} {
-		if err := run(dir, "tiny", engine, "direct", "cut", 1, 0.25, 2, 1, 1, 0, 0, false, 2, false, ""); err != nil {
+		o := testOpts(dir, "tiny")
+		o.engine, o.cutoff, o.seed = engine, 0.25, 2
+		o.refineWorkers, o.localizedWorkers = 0, 0
+		if err := run(o); err != nil {
 			t.Errorf("engine %s: %v", engine, err)
 		}
 	}
@@ -122,11 +156,28 @@ func TestRunFlatEngines(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
 	writeBundle(t, dir, "tiny")
-	if err := run(dir, "tiny", "bogus", "direct", "cut", 1, 1, 1, 1, 1, 1, 1, false, 2, false, ""); err == nil {
+	bogus := testOpts(dir, "tiny")
+	bogus.engine = "bogus"
+	if err := run(bogus); err == nil {
 		t.Error("want error for unknown engine")
 	}
-	if err := run(dir, "missing", "ml", "direct", "cut", 1, 1, 1, 1, 1, 1, 1, false, 2, false, ""); err == nil {
+	if err := run(testOpts(dir, "missing")); err == nil {
 		t.Error("want error for missing bundle")
+	}
+	both := testOpts(dir, "tiny")
+	both.hgrPath = filepath.Join(dir, "x.hgr")
+	if err := run(both); err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Errorf("run(-base with -hgr) = %v, want mutual-exclusion error", err)
+	}
+	fixOnly := testOpts(dir, "tiny")
+	fixOnly.fixPath = filepath.Join(dir, "x.fix")
+	if err := run(fixOnly); err == nil || !strings.Contains(err.Error(), "-fix applies to -hgr input only") {
+		t.Errorf("run(-base with -fix) = %v, want fix-without-hgr error", err)
+	}
+	frac := testOpts(dir, "tiny")
+	frac.fixFraction = 1.5
+	if err := run(frac); err == nil || !strings.Contains(err.Error(), "outside [0, 1]") {
+		t.Errorf("run(-fix-fraction 1.5) = %v, want range error", err)
 	}
 }
 
@@ -156,7 +207,11 @@ func TestRunKWayBundle(t *testing.T) {
 	}
 	for _, mode := range []string{"direct", "rb"} {
 		out := filepath.Join(dir, "quad_"+mode+".sol")
-		if err := run(dir, "quad", "ml", mode, "cut", 2, 1, 1, 2, 2, 2, 2, false, 2, false, out); err != nil {
+		o := testOpts(dir, "quad")
+		o.kway = mode
+		o.starts, o.workers, o.coarsenWorkers, o.refineWorkers, o.localizedWorkers = 2, 2, 2, 2, 2
+		o.out = out
+		if err := run(o); err != nil {
 			t.Fatalf("run ml k=4 -kway=%s: %v", mode, err)
 		}
 		got, err := bookshelf.ReadProblem(dir, "quad")
@@ -176,10 +231,14 @@ func TestRunKWayBundle(t *testing.T) {
 			t.Fatalf("-kway=%s solution infeasible: %v", mode, err)
 		}
 	}
-	if err := run(dir, "quad", "ml", "bogus", "cut", 1, 1, 1, 1, 1, 1, 1, false, 2, false, ""); err == nil {
+	bogus := testOpts(dir, "quad")
+	bogus.kway = "bogus"
+	if err := run(bogus); err == nil {
 		t.Error("want error for unknown -kway mode")
 	}
-	if err := run(dir, "quad", "lifo", "direct", "cut", 1, 1, 2, 1, 1, 0, 0, false, 2, false, ""); err != nil {
+	flat := testOpts(dir, "quad")
+	flat.engine, flat.seed, flat.refineWorkers, flat.localizedWorkers = "lifo", 2, 0, 0
+	if err := run(flat); err != nil {
 		t.Fatalf("run flat k=4: %v", err)
 	}
 }
@@ -205,8 +264,137 @@ func TestRunNonPowerOfTwoK(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, mode := range []string{"direct", "rb"} {
-		if err := run(dir, "tri", "ml", mode, "cut", 1, 1, 1, 1, 1, 1, 1, false, 2, false, ""); err != nil {
+		o := testOpts(dir, "tri")
+		o.kway = mode
+		if err := run(o); err != nil {
 			t.Errorf("run ml k=3 -kway=%s: %v", mode, err)
 		}
+	}
+}
+
+// writeHGRSuite writes a small random instance to dir as circuit.hgr +
+// circuit.fix and returns the problem it describes (k=2, tol as given).
+// Built directly (not via gen) because .hgr cannot represent the generator's
+// zero-area pads — hMetis weights are >= 1.
+func writeHGRSuite(t *testing.T, dir string, tol float64) *partition.Problem {
+	t.Helper()
+	const nv = 200
+	rng := rand.New(rand.NewPCG(5, 5))
+	b := hypergraph.NewBuilder(1)
+	for v := 0; v < nv; v++ {
+		b.AddVertex(int64(1 + v%3))
+	}
+	for e := 0; e < 300; e++ {
+		deg := 2 + rng.IntN(4)
+		pins := make([]int, 0, deg)
+		seen := map[int]bool{}
+		for len(pins) < deg {
+			v := rng.IntN(nv)
+			if !seen[v] {
+				seen[v] = true
+				pins = append(pins, v)
+			}
+		}
+		b.AddWeightedNet(int64(1+rng.IntN(3)), pins...)
+	}
+	h, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := partition.NewBipartition(h, tol)
+	for v := 0; v < nv; v += 25 {
+		p.Fix(v, (v/25)%2)
+	}
+	hf, err := os.Create(filepath.Join(dir, "circuit.hgr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hgr.WriteHGR(hf, h); err != nil {
+		t.Fatal(err)
+	}
+	hf.Close()
+	ff, err := os.Create(filepath.Join(dir, "circuit.fix"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hgr.WriteFix(ff, p); err != nil {
+		t.Fatal(err)
+	}
+	ff.Close()
+	return p
+}
+
+// TestRunHGRMode drives the exchange-format path end to end: -hgr + -fix in,
+// -write-parts out, and the written partition file must be a feasible
+// assignment of the same instance.
+func TestRunHGRMode(t *testing.T) {
+	dir := t.TempDir()
+	p := writeHGRSuite(t, dir, 0.05)
+	parts := filepath.Join(dir, "circuit.part")
+	o := testOpts("", "")
+	o.hgrPath = filepath.Join(dir, "circuit.hgr")
+	o.fixPath = filepath.Join(dir, "circuit.fix")
+	o.tol = 0.05
+	o.starts, o.workers = 2, 2
+	o.writeParts = parts
+	if err := run(o); err != nil {
+		t.Fatalf("run -hgr: %v", err)
+	}
+	f, err := os.Open(parts)
+	if err != nil {
+		t.Fatalf("partition file not written: %v", err)
+	}
+	defer f.Close()
+	a, err := hgr.ReadParts(f, p.H.NumVertices(), p.K)
+	if err != nil {
+		t.Fatalf("ReadParts: %v", err)
+	}
+	if err := p.Feasible(a); err != nil {
+		t.Errorf("written partition infeasible: %v", err)
+	}
+}
+
+// TestRunHGRFixFraction drives the synthesized-constraints workflow: the
+// pads stay fixed from the .fix file, -fix-fraction fixes more vertices on
+// top, and -write-fix round-trips the effective constraint set.
+func TestRunHGRFixFraction(t *testing.T) {
+	dir := t.TempDir()
+	writeHGRSuite(t, dir, 0.1)
+	chosen := filepath.Join(dir, "chosen.fix")
+	o := testOpts("", "")
+	o.hgrPath = filepath.Join(dir, "circuit.hgr")
+	o.fixPath = filepath.Join(dir, "circuit.fix")
+	o.tol = 0.1
+	o.fixFraction, o.fixSeed = 0.2, 7
+	o.writeFix = chosen
+	if err := run(o); err != nil {
+		t.Fatalf("run -fix-fraction: %v", err)
+	}
+	f, err := os.Open(chosen)
+	if err != nil {
+		t.Fatalf("fix file not written: %v", err)
+	}
+	defer f.Close()
+	hf, err := os.Open(o.hgrPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hf.Close()
+	h, err := hgr.ReadHGR(hf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	masks, err := hgr.ReadFix(f, h.NumVertices(), 2)
+	if err != nil {
+		t.Fatalf("re-read written fix: %v", err)
+	}
+	fixed := 0
+	for _, m := range masks {
+		if _, ok := m.OnlyPart(); ok {
+			fixed++
+		}
+	}
+	if want := int(0.2 * float64(h.NumVertices())); fixed < want {
+		t.Errorf("written fix file fixes %d vertices, want at least %d", fixed, want)
 	}
 }

@@ -1,0 +1,125 @@
+package hgr
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/partition"
+)
+
+// ReadFix parses a KaHyPar-style fixed-vertex file into per-vertex
+// allowed-parts masks for a k-way problem over numVerts vertices. The file
+// has one line per vertex, in vertex order:
+//
+//	-1           the vertex is free
+//	p            the vertex is fixed to part p (0 <= p < k)
+//	p q ...      OR-region extension: the vertex may take any listed part
+//
+// The multi-part form is this repository's extension for the source paper's
+// OR-region terminals; plain KaHyPar files (single value per line) parse
+// unchanged, and WriteFix emits the single-value form whenever no OR-region
+// mask is present. '%' starts a comment; blank lines are ignored (vertex
+// association is by data-line count, not physical line number).
+//
+// Every parse error carries a stable line-numbered message prefix; see
+// FORMATS.md for the taxonomy.
+func ReadFix(r io.Reader, numVerts, k int) ([]partition.Mask, error) {
+	if k < 2 || k > partition.MaxParts {
+		return nil, fmt.Errorf("fix: k = %d outside [2, %d]", k, partition.MaxParts)
+	}
+	lx := newLexer(r, "fix")
+	masks := make([]partition.Mask, numVerts)
+	all := partition.AllParts(k)
+	for i := range masks {
+		masks[i] = all
+	}
+	v := 0
+	for {
+		t, err := lx.next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if v >= numVerts {
+			return nil, lx.errf(t.line, "more vertex lines than the %d vertices", numVerts)
+		}
+		line := t.line
+		free := t.text == "-1"
+		var m partition.Mask
+		if !free {
+			m, err = parseFixPart(lx, t, k, m)
+			if err != nil {
+				return nil, err
+			}
+		}
+		for {
+			t, ok, err := lx.sameLine(line)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			if free || t.text == "-1" {
+				return nil, lx.errf(t.line, "-1 must stand alone on its line")
+			}
+			m, err = parseFixPart(lx, t, k, m)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if free {
+			m = all
+		}
+		masks[v] = m
+		v++
+	}
+	if v < numVerts {
+		return nil, fmt.Errorf("fix: file lists %d of %d vertex lines", v, numVerts)
+	}
+	return masks, nil
+}
+
+// parseFixPart folds one part id into the line's mask.
+func parseFixPart(lx *lexer, t token, k int, m partition.Mask) (partition.Mask, error) {
+	p, err := strconv.Atoi(t.text)
+	if err != nil {
+		return 0, lx.errf(t.line, "bad part id %q", t.text)
+	}
+	if p < 0 || p >= k {
+		return 0, lx.errf(t.line, "part %d outside [0, %d)", p, k)
+	}
+	if m.Contains(p) {
+		return 0, lx.errf(t.line, "duplicate part %d", p)
+	}
+	return m.With(p), nil
+}
+
+// WriteFix writes the problem's constraints as a KaHyPar-style fixed-vertex
+// file: one line per vertex, -1 for free vertices, the part id for fixed
+// ones, and the space-separated allowed parts for OR-region masks (the
+// repository extension — a file round-trips through ReadFix to bit-identical
+// masks). Problems whose every vertex is free still emit all -1 lines, so
+// the file always has exactly NumVertices lines.
+func WriteFix(w io.Writer, p *partition.Problem) error {
+	bw := bufio.NewWriter(w)
+	for v := 0; v < p.H.NumVertices(); v++ {
+		if p.IsFree(v) {
+			fmt.Fprintln(bw, -1)
+			continue
+		}
+		for i, part := range p.MaskOf(v).Parts(p.K) {
+			if i > 0 {
+				fmt.Fprintf(bw, " %d", part)
+			} else {
+				fmt.Fprintf(bw, "%d", part)
+			}
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,88 @@
+package hgr
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/partition"
+)
+
+func TestReadFixGolden(t *testing.T) {
+	// KaHyPar form plus the OR-region extension: vertex 0 free, 1 fixed to
+	// part 2, 2 free, 3 restricted to {0, 3}, 4 fixed to 0.
+	in := "% fix file\n-1\n2\n-1\n0 3\n0\n"
+	masks, err := ReadFix(strings.NewReader(in), 5, 4)
+	if err != nil {
+		t.Fatalf("ReadFix: %v", err)
+	}
+	all := partition.AllParts(4)
+	want := []partition.Mask{all, partition.Single(2), all, partition.Single(0) | partition.Single(3), partition.Single(0)}
+	for v, m := range want {
+		if masks[v] != m {
+			t.Fatalf("vertex %d mask = %b, want %b", v, masks[v], m)
+		}
+	}
+}
+
+// WriteFix then ReadFix reproduces the masks bit for bit, including the
+// OR-region extension lines.
+func TestFixRoundTrip(t *testing.T) {
+	h, err := ReadHGR(strings.NewReader(hgrFmt11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := partition.NewFree(h, 4, 0.5)
+	p.Fix(1, 2)
+	p.Restrict(3, partition.Single(0)|partition.Single(3))
+	p.Fix(6, 0)
+
+	var buf bytes.Buffer
+	if err := WriteFix(&buf, p); err != nil {
+		t.Fatalf("WriteFix: %v", err)
+	}
+	want := "-1\n2\n-1\n0 3\n-1\n-1\n0\n"
+	if buf.String() != want {
+		t.Fatalf("WriteFix produced %q, want %q", buf.String(), want)
+	}
+
+	masks, err := ReadFix(bytes.NewReader(buf.Bytes()), h.NumVertices(), p.K)
+	if err != nil {
+		t.Fatalf("re-read: %v", err)
+	}
+	for v := range masks {
+		if masks[v] != p.MaskOf(v) {
+			t.Fatalf("vertex %d: round trip mask %b, want %b", v, masks[v], p.MaskOf(v))
+		}
+	}
+}
+
+// Every documented .fix parse-error class, asserted by message prefix.
+func TestReadFixErrors(t *testing.T) {
+	cases := []struct{ name, in, wantPrefix string }{
+		{"bad part id", "x\n-1\n-1\n", `fix: line 1: bad part id "x"`},
+		{"part out of range", "-1\n5\n-1\n", "fix: line 2: part 5 outside [0, 4)"},
+		{"negative part", "-2\n-1\n-1\n", "fix: line 1: part -2 outside [0, 4)"},
+		{"duplicate part", "0 0\n-1\n-1\n", "fix: line 1: duplicate part 0"},
+		{"minus one with part", "-1 2\n-1\n-1\n", "fix: line 1: -1 must stand alone on its line"},
+		{"part with minus one", "2 -1\n-1\n-1\n", "fix: line 1: -1 must stand alone on its line"},
+		{"too many lines", "-1\n-1\n-1\n-1\n", "fix: line 4: more vertex lines than the 3 vertices"},
+		{"truncated", "-1\n0\n", "fix: file lists 2 of 3 vertex lines"},
+		{"token too long", strings.Repeat("1", 40) + "\n-1\n-1\n", "fix: line 1: token too long"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadFix(strings.NewReader(tc.in), 3, 4)
+			if err == nil {
+				t.Fatalf("ReadFix accepted %q", tc.in)
+			}
+			if !strings.HasPrefix(err.Error(), tc.wantPrefix) {
+				t.Fatalf("error = %q, want prefix %q", err, tc.wantPrefix)
+			}
+		})
+	}
+	if _, err := ReadFix(strings.NewReader("-1\n"), 1, 1); err == nil ||
+		!strings.HasPrefix(err.Error(), "fix: k = 1 outside [2, 64]") {
+		t.Fatalf("ReadFix(k=1) = %v, want k-range error", err)
+	}
+}

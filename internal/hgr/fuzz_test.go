@@ -1,0 +1,72 @@
+package hgr
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/partition"
+)
+
+// FuzzHGR drives the .hgr parser with arbitrary bytes under small limits.
+// The invariants: never panic, never allocate past the limits, and any
+// successfully parsed hypergraph survives a write/re-read round trip with an
+// identical fingerprint.
+func FuzzHGR(f *testing.F) {
+	f.Add([]byte(hgrFmt0))
+	f.Add([]byte(hgrFmt1))
+	f.Add([]byte(hgrFmt10))
+	f.Add([]byte(hgrFmt11))
+	f.Add([]byte("% comment\n2 3\n1 2\n2 3\n"))
+	f.Add([]byte("1 1\n"))
+	f.Add([]byte("9999999999 9999999999 11\n"))
+	f.Add([]byte("2 3 1\n9223372036854775807 1 2\n9223372036854775807 2 3\n"))
+	lim := Limits{MaxVertices: 1 << 16, MaxNets: 1 << 16, MaxPins: 1 << 18}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := ReadHGRLimits(bytes.NewReader(data), lim)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteHGR(&buf, h); err != nil {
+			t.Fatalf("WriteHGR of parsed graph: %v", err)
+		}
+		h2, err := ReadHGRLimits(bytes.NewReader(buf.Bytes()), lim)
+		if err != nil {
+			t.Fatalf("re-read of written graph: %v\n%s", err, buf.String())
+		}
+		if h.Fingerprint() != h2.Fingerprint() {
+			t.Fatalf("round trip changed fingerprint %016x -> %016x", h.Fingerprint(), h2.Fingerprint())
+		}
+	})
+}
+
+// FuzzFix drives the .fix parser with arbitrary bytes. Successfully parsed
+// mask sets must be exactly numVerts long with every mask a nonempty subset
+// of the k parts.
+func FuzzFix(f *testing.F) {
+	f.Add([]byte("-1\n2\n-1\n0 3\n0\n"), 5, 4)
+	f.Add([]byte(strings.Repeat("-1\n", 7)), 7, 2)
+	f.Add([]byte("0 1 2 3\n"), 1, 4)
+	f.Add([]byte("% comment\n63\n"), 1, 64)
+	f.Fuzz(func(t *testing.T, data []byte, numVerts, k int) {
+		if numVerts < 0 || numVerts > 1<<12 {
+			return
+		}
+		masks, err := ReadFix(bytes.NewReader(data), numVerts, k)
+		if err != nil {
+			return
+		}
+		if len(masks) != numVerts {
+			t.Fatalf("got %d masks for %d vertices", len(masks), numVerts)
+		}
+		for v, m := range masks {
+			if m == 0 {
+				t.Fatalf("vertex %d: empty mask", v)
+			}
+			if m&^partition.AllParts(k) != 0 {
+				t.Fatalf("vertex %d: mask %b has bits outside the %d parts", v, m, k)
+			}
+		}
+	})
+}

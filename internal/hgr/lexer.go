@@ -1,0 +1,125 @@
+package hgr
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// maxTokenLen bounds a single token. The longest legitimate token in any of
+// this package's formats is a signed 64-bit integer (20 digits); anything
+// longer is hostile input and is rejected before it can grow the buffer.
+const maxTokenLen = 32
+
+// token is one whitespace-delimited field together with the 1-based line it
+// appeared on. Line numbers group tokens into records: .hgr nets and vertex
+// weights, .fix and partition-file entries are all line-based.
+type token struct {
+	text string
+	line int
+}
+
+// lexer streams whitespace-separated tokens from r with '%'-comment
+// stripping (the hMetis convention: '%' runs to end of line) and line
+// accounting. It reads byte by byte through a bufio.Reader and never buffers
+// more than one token, so memory stays constant regardless of line length —
+// the property that makes the parsers safe on adversarial input.
+type lexer struct {
+	r      *bufio.Reader
+	prefix string // error prefix: "hgr", "fix" or "parts"
+	line   int    // line the read head is on (1-based)
+	held   *token // one-token lookahead for peek
+	buf    []byte
+}
+
+func newLexer(r io.Reader, prefix string) *lexer {
+	return &lexer{r: bufio.NewReaderSize(r, 64*1024), prefix: prefix, line: 1, buf: make([]byte, 0, maxTokenLen)}
+}
+
+// errf formats a line-numbered parse error: "<prefix>: line <n>: <msg>".
+func (lx *lexer) errf(line int, format string, args ...any) error {
+	return fmt.Errorf("%s: line %d: %s", lx.prefix, line, fmt.Sprintf(format, args...))
+}
+
+// next returns the next token, skipping whitespace, blank lines and
+// comments. It returns io.EOF when the input is exhausted and a *token too
+// long* parse error for tokens over maxTokenLen.
+func (lx *lexer) next() (token, error) {
+	if lx.held != nil {
+		t := *lx.held
+		lx.held = nil
+		return t, nil
+	}
+	inComment := false
+	for {
+		b, err := lx.r.ReadByte()
+		if err != nil {
+			if err == io.EOF {
+				return token{}, io.EOF
+			}
+			return token{}, fmt.Errorf("%s: line %d: read: %w", lx.prefix, lx.line, err)
+		}
+		switch {
+		case b == '\n':
+			lx.line++
+			inComment = false
+		case inComment:
+		case b == '%':
+			inComment = true
+		case b == ' ' || b == '\t' || b == '\r' || b == '\v' || b == '\f':
+		default:
+			return lx.readToken(b)
+		}
+	}
+}
+
+// readToken accumulates a token whose first byte has already been consumed.
+func (lx *lexer) readToken(first byte) (token, error) {
+	lx.buf = append(lx.buf[:0], first)
+	startLine := lx.line
+	for {
+		c, err := lx.r.ReadByte()
+		if err != nil {
+			if err == io.EOF {
+				break
+			}
+			return token{}, fmt.Errorf("%s: line %d: read: %w", lx.prefix, lx.line, err)
+		}
+		if c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f' || c == '\n' || c == '%' {
+			_ = lx.r.UnreadByte()
+			break
+		}
+		if len(lx.buf) >= maxTokenLen {
+			return token{}, lx.errf(startLine, "token too long (over %d bytes)", maxTokenLen)
+		}
+		lx.buf = append(lx.buf, c)
+	}
+	return token{text: string(lx.buf), line: startLine}, nil
+}
+
+// peek returns the next token without consuming it.
+func (lx *lexer) peek() (token, error) {
+	if lx.held != nil {
+		return *lx.held, nil
+	}
+	t, err := lx.next()
+	if err != nil {
+		return token{}, err
+	}
+	lx.held = &t
+	return t, nil
+}
+
+// sameLine reports whether another token follows on line `line` and, if so,
+// consumes and returns it.
+func (lx *lexer) sameLine(line int) (token, bool, error) {
+	t, err := lx.peek()
+	if err != nil || t.line != line {
+		if err == io.EOF {
+			err = nil
+		}
+		return token{}, false, err
+	}
+	lx.held = nil
+	return t, true, nil
+}

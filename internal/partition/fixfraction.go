@@ -1,0 +1,44 @@
+package partition
+
+import (
+	"math/rand/v2"
+	"sort"
+)
+
+// ApplyFixFraction fixes frac of the problem's vertices deterministically:
+// a seeded shuffle picks the sample from the vertices not already fixed to a
+// single part, and parts are assigned round-robin over the sample in vertex
+// order so the fixed set stays balanced — the paper's "rand" fixed-terminals
+// regime. The target count is frac * NumVertices (rounded down), clamped to
+// the available free vertices; vertices already fixed are never re-fixed,
+// but OR-region masks may be narrowed to a single part like any free vertex.
+//
+// The same (problem, frac, seed) triple always fixes the same vertices to
+// the same parts, so a CLI run and a server request posing the same study
+// see the same instance. Both the hpart -fix-fraction flag and the hpartd
+// fix_fraction request field resolve to this function.
+func ApplyFixFraction(p *Problem, frac float64, seed uint64) {
+	if frac <= 0 {
+		return
+	}
+	nv := p.H.NumVertices()
+	rng := rand.New(rand.NewPCG(seed, 0xf1f1))
+	free := make([]int, 0, nv)
+	for v := 0; v < nv; v++ {
+		if _, fixed := p.FixedPart(v); !fixed {
+			free = append(free, v)
+		}
+	}
+	rng.Shuffle(len(free), func(i, j int) { free[i], free[j] = free[j], free[i] })
+	n := int(frac * float64(nv))
+	if n > len(free) {
+		n = len(free)
+	}
+	// Sort the chosen sample so the masks applied are independent of the
+	// shuffle's iteration details beyond membership.
+	chosen := append([]int(nil), free[:n]...)
+	sort.Ints(chosen)
+	for i, v := range chosen {
+		p.Fix(v, i%p.K)
+	}
+}

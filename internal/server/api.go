@@ -2,12 +2,13 @@ package server
 
 import (
 	"fmt"
-	"math/rand/v2"
+	"io"
 	"runtime"
-	"sort"
+	"strings"
 
 	"repro/internal/fm"
 	"repro/internal/gen"
+	"repro/internal/hgr"
 	"repro/internal/hypergraph"
 	"repro/internal/multilevel"
 	"repro/internal/partition"
@@ -25,6 +26,11 @@ type Request struct {
 	Preset *PresetSpec `json:"preset,omitempty"`
 	// Hypergraph is an inline netlist upload.
 	Hypergraph *HypergraphSpec `json:"hypergraph,omitempty"`
+	// HGR is an inline upload in the hMetis exchange formats: the netlist as
+	// .hgr text, constraints as optional .fix text. An instance uploaded this
+	// way is indistinguishable downstream from the same instance posed as
+	// "hypergraph" + "fixed" — same responses, same hierarchy-cache entries.
+	HGR *HGRSpec `json:"hgr,omitempty"`
 
 	// K is the number of parts (default 2). k = 2 requests are served
 	// through the hierarchy cache; k > 2 requests run the direct k-way
@@ -131,6 +137,19 @@ type HypergraphSpec struct {
 	Nets [][]int `json:"nets"`
 	// NetWeights optionally weighs each net (default 1).
 	NetWeights []int64 `json:"net_weights,omitempty"`
+}
+
+// HGRSpec is an inline upload in the standard exchange formats. The texts
+// are parsed with the same hostile-input limits the server applies to JSON
+// uploads (line-numbered 400s for malformed content, 413 for oversized
+// declarations); see FORMATS.md for both grammars.
+type HGRSpec struct {
+	// HGR is the hMetis .hgr netlist text (fmt codes 0, 1, 10, 11).
+	HGR string `json:"hgr"`
+	// Fix is optional KaHyPar-style fixed-vertex text: one line per vertex,
+	// -1 for free, a part id to fix, several part ids for an OR-region.
+	// The request's "fixed" list and "fix_fraction" still apply on top.
+	Fix string `json:"fix,omitempty"`
 }
 
 // FixSpec constrains one vertex to a set of allowed parts.
@@ -255,8 +274,14 @@ func (r Request) withDefaults(cfg Config) Request {
 
 // validate rejects structurally bad requests with a client-facing message.
 func (r Request) validate(cfg Config) error {
-	if (r.Preset == nil) == (r.Hypergraph == nil) {
-		return fmt.Errorf("exactly one of \"preset\" and \"hypergraph\" must be given")
+	sources := 0
+	for _, given := range []bool{r.Preset != nil, r.Hypergraph != nil, r.HGR != nil} {
+		if given {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return fmt.Errorf("exactly one of \"preset\", \"hypergraph\" and \"hgr\" must be given")
 	}
 	if r.K < 2 || r.K > partition.MaxParts {
 		return fmt.Errorf("k = %d outside [2, %d]", r.K, partition.MaxParts)
@@ -310,6 +335,9 @@ func (r Request) validate(cfg Config) error {
 			return errTooLarge{fmt.Sprintf("hypergraph has %d nets, limit %d", len(hg.Nets), cfg.MaxNets)}
 		}
 	}
+	if r.HGR != nil && strings.TrimSpace(r.HGR.HGR) == "" {
+		return fmt.Errorf("hgr upload has empty netlist text")
+	}
 	if r.Preset != nil {
 		pr, _ := gen.PresetByName(r.Preset.Name)
 		cells := pr.Params.Scaled(r.Preset.Scale).Cells
@@ -343,30 +371,45 @@ func (e errTooLarge) Error() string { return e.msg }
 // conservatively: coarsening never consults it (CoarseningFingerprint
 // excludes it), but separating cut and km1 entries keeps every cached
 // answer trivially attributable to one objective's request stream.
+//
+// The two branches hash different things on purpose. For uploads the key is
+// Problem.Fingerprint() — the instance as *built*, covering the netlist, k,
+// tolerance-derived balance and every constraint mask however the request
+// expressed it — so a "hypergraph" + "fixed" upload and an "hgr" + .fix
+// upload of the same instance collapse to one entry. For presets the key
+// hashes the request fields directly (name, scale, constraint specs), which
+// is computable without the netlist; it cannot use Problem.Fingerprint
+// without forfeiting exactly that generation-skipping property.
 func (r Request) cacheKey(prob *partition.Problem) string {
 	obj, _ := fm.ParseObjective(r.Objective)
 	f := hypergraph.NewFingerprint().
-		Word(uint64(r.K)).
-		Word(uint64(int64(r.Tolerance * 1e9))).
-		Word(uint64(int64(r.FixFraction * 1e9))).
-		Word(r.FixSeed).
 		Word(uint64(r.Hierarchies)).
 		Word(uint64(obj)).
 		Word(multilevel.Config{}.CoarseningFingerprint())
-	for _, fx := range r.Fixed {
-		f = f.Word(uint64(fx.Vertex))
-		for _, p := range fx.Parts {
-			f = f.Word(uint64(p))
-		}
-	}
 	if r.Preset != nil {
+		f = f.Word(uint64(r.K)).
+			Word(uint64(int64(r.Tolerance * 1e9))).
+			Word(uint64(int64(r.FixFraction * 1e9))).
+			Word(r.FixSeed)
+		for _, fx := range r.Fixed {
+			f = f.Word(uint64(fx.Vertex))
+			for _, p := range fx.Parts {
+				f = f.Word(uint64(p))
+			}
+		}
 		return fmt.Sprintf("preset:%s:%g:%016x", r.Preset.Name, r.Preset.Scale, f.Sum())
 	}
-	return fmt.Sprintf("upload:%016x", f.Word(prob.H.Fingerprint()).Sum())
+	return fmt.Sprintf("upload:%016x", f.Word(prob.Fingerprint()).Sum())
 }
 
 // buildProblem materializes the partitioning instance a request describes.
-func buildProblem(r Request) (*partition.Problem, string, error) {
+// cfg supplies the size limits the .hgr parser enforces against declared
+// header counts (JSON uploads hit the same limits in validate, where the
+// counts are directly visible).
+func buildProblem(r Request, cfg Config) (*partition.Problem, string, error) {
+	if r.HGR != nil {
+		return buildHGRUpload(r, cfg)
+	}
 	var h *hypergraph.Hypergraph
 	var name string
 	switch {
@@ -397,6 +440,30 @@ func buildProblem(r Request) (*partition.Problem, string, error) {
 		return nil, "", err
 	}
 	return p, name, nil
+}
+
+// buildHGRUpload materializes an "hgr" upload: the .hgr netlist and optional
+// .fix constraints parse under the server's size limits (oversized
+// declarations surface as *hgr.LimitError, which the handler maps to 413
+// like any other too-large upload), then the request's own "fixed" list and
+// fix_fraction apply on top exactly as for JSON uploads.
+func buildHGRUpload(r Request, cfg Config) (*partition.Problem, string, error) {
+	lim := hgr.Limits{MaxVertices: cfg.MaxVertices, MaxNets: cfg.MaxNets}
+	var fixR io.Reader
+	if r.HGR.Fix != "" {
+		fixR = strings.NewReader(r.HGR.Fix)
+	}
+	p, err := hgr.ReadProblemLimits(strings.NewReader(r.HGR.HGR), fixR, r.K, r.Tolerance, lim)
+	if err != nil {
+		return nil, "", err
+	}
+	if err := applyConstraints(p, r); err != nil {
+		return nil, "", err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, "", err
+	}
+	return p, fmt.Sprintf("hgr:%016x", p.H.Fingerprint()), nil
 }
 
 // buildUpload assembles an uploaded netlist into a Hypergraph.
@@ -467,26 +534,6 @@ func applyConstraints(p *partition.Problem, r Request) error {
 		}
 		p.Restrict(fx.Vertex, m)
 	}
-	if r.FixFraction > 0 {
-		rng := rand.New(rand.NewPCG(r.FixSeed, 0xf1f1))
-		free := make([]int, 0, nv)
-		for v := 0; v < nv; v++ {
-			if _, fixed := p.FixedPart(v); !fixed {
-				free = append(free, v)
-			}
-		}
-		rng.Shuffle(len(free), func(i, j int) { free[i], free[j] = free[j], free[i] })
-		n := int(r.FixFraction * float64(nv))
-		if n > len(free) {
-			n = len(free)
-		}
-		// Sort the chosen sample so the masks applied are independent of the
-		// shuffle's iteration details beyond membership.
-		chosen := append([]int(nil), free[:n]...)
-		sort.Ints(chosen)
-		for i, v := range chosen {
-			p.Fix(v, i%r.K)
-		}
-	}
+	partition.ApplyFixFraction(p, r.FixFraction, r.FixSeed)
 	return nil
 }

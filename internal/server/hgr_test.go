@@ -1,0 +1,134 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// The same 8-vertex instance as TestPartitionUploadAndKWay's JSON upload,
+// expressed as .hgr text. Both spellings must build to the same
+// Problem.Fingerprint and therefore share one hierarchy-cache entry.
+const (
+	hgrUploadText = "5 8\n1 2 3\n3 4 5\n5 6 7\n7 8 1\n2 6\n"
+	jsonUpload    = `{"hypergraph":{"areas":[1,1,1,1,1,1,1,1],"nets":[[0,1,2],[2,3,4],[4,5,6],[6,7,0],[1,5]]},"starts":2}`
+)
+
+func hgrBody(hgrText, fixText, extra string) string {
+	spec := map[string]string{"hgr": hgrText}
+	if fixText != "" {
+		spec["fix"] = fixText
+	}
+	raw, _ := json.Marshal(spec)
+	s := `{"hgr":` + string(raw) + `,"starts":2`
+	if extra != "" {
+		s += "," + extra
+	}
+	return s + "}"
+}
+
+func TestPartitionHGRUpload(t *testing.T) {
+	s := New(Config{})
+	fix := "0\n-1\n-1\n-1\n1\n-1\n-1\n-1\n"
+	rec, resp := post(t, s.Handler(), hgrBody(hgrUploadText, fix, `"tolerance":0.3`))
+	if resp == nil {
+		t.Fatalf("hgr upload failed: %d %s", rec.Code, rec.Body.String())
+	}
+	if resp.Vertices != 8 || resp.Nets != 5 || resp.K != 2 {
+		t.Errorf("shape %d/%d k=%d, want 8/5 k=2", resp.Vertices, resp.Nets, resp.K)
+	}
+	if resp.Fixed != 2 {
+		t.Errorf("fixed=%d, want 2 (the .fix constraints must be echoed)", resp.Fixed)
+	}
+	if !strings.HasPrefix(resp.Instance, "hgr:") {
+		t.Errorf("instance %q, want hgr:<fingerprint>", resp.Instance)
+	}
+	if resp.Assignment[0] != 0 || resp.Assignment[4] != 1 {
+		t.Errorf("fixed vertices landed on %d/%d, want 0/1", resp.Assignment[0], resp.Assignment[4])
+	}
+	if _, warm := post(t, s.Handler(), hgrBody(hgrUploadText, fix, `"tolerance":0.3`)); warm == nil || warm.Cache != "hit" {
+		t.Error("re-uploaded identical .hgr instance missed the cache")
+	}
+}
+
+// TestPartitionHGRJSONCacheShared is the differential test: the same
+// instance uploaded as JSON and as .hgr text must produce identical
+// solutions from ONE shared hierarchy-cache entry — the .hgr request after
+// the JSON one is a hit, not a second miss.
+func TestPartitionHGRJSONCacheShared(t *testing.T) {
+	s := New(Config{})
+	_, cold := post(t, s.Handler(), jsonUpload)
+	if cold == nil {
+		t.Fatal("JSON upload failed")
+	}
+	if cold.Cache != "miss" {
+		t.Fatalf("first upload cache=%q, want miss", cold.Cache)
+	}
+	rec, warm := post(t, s.Handler(), hgrBody(hgrUploadText, "", ""))
+	if warm == nil {
+		t.Fatalf("hgr upload failed: %d %s", rec.Code, rec.Body.String())
+	}
+	if warm.Cache != "hit" {
+		t.Errorf("hgr upload of the JSON-uploaded instance: cache=%q, want hit", warm.Cache)
+	}
+	if warm.Cut != cold.Cut {
+		t.Errorf("hgr cut %d != JSON cut %d for the same instance", warm.Cut, cold.Cut)
+	}
+	for v := range warm.Assignment {
+		if warm.Assignment[v] != cold.Assignment[v] {
+			t.Fatalf("assignments diverge at vertex %d", v)
+		}
+	}
+}
+
+func TestPartitionHGRKWay(t *testing.T) {
+	s := New(Config{})
+	rec, resp := post(t, s.Handler(), hgrBody(hgrUploadText, "", `"k":4,"tolerance":0.5`))
+	if resp == nil {
+		t.Fatalf("k=4 hgr upload failed: %d %s", rec.Code, rec.Body.String())
+	}
+	if resp.K != 4 || resp.Cache != "bypass" {
+		t.Errorf("k=4: k=%d cache=%q, want 4/bypass", resp.K, resp.Cache)
+	}
+}
+
+// Malformed .hgr/.fix text is a 400 whose message carries the parser's
+// line-numbered diagnosis; oversized declarations are 413.
+func TestPartitionHGRErrors(t *testing.T) {
+	s := New(Config{})
+	cases := map[string]struct {
+		body     string
+		wantCode int
+		wantMsg  string
+	}{
+		"bad pin": {hgrBody("1 3\n1 x\n", "", ""),
+			http.StatusBadRequest, "hgr: line 2: bad pin"},
+		"truncated": {hgrBody("2 3\n1 2\n", "", ""),
+			http.StatusBadRequest, "hgr: truncated file: 1 of 2 net lines"},
+		"bad fix part": {hgrBody(hgrUploadText, "9\n-1\n-1\n-1\n-1\n-1\n-1\n-1\n", ""),
+			http.StatusBadRequest, "fix: line 1: part 9 outside [0, 2)"},
+		"empty netlist": {hgrBody("  ", "", ""),
+			http.StatusBadRequest, "hgr upload has empty netlist text"},
+		"both hgr and json": {`{"hgr":{"hgr":"1 2\n1 2\n"},"hypergraph":{"areas":[1,1],"nets":[[0,1]]}}`,
+			http.StatusBadRequest, "exactly one of"},
+		"heavy vertex": {hgrBody("1 2 10\n1 2\n100\n1\n", "", ""),
+			http.StatusBadRequest, "exceeds the capacity of every part"},
+	}
+	for name, tc := range cases {
+		rec, _ := post(t, s.Handler(), tc.body)
+		if rec.Code != tc.wantCode {
+			t.Errorf("%s: status %d, want %d (%s)", name, rec.Code, tc.wantCode, rec.Body.String())
+			continue
+		}
+		if !strings.Contains(rec.Body.String(), tc.wantMsg) {
+			t.Errorf("%s: body %q does not carry %q", name, rec.Body.String(), tc.wantMsg)
+		}
+	}
+
+	tiny := New(Config{MaxVertices: 4})
+	rec, _ := post(t, tiny.Handler(), hgrBody("1 400\n1 2\n", "", ""))
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized .hgr declaration: %d, want 413 (%s)", rec.Code, rec.Body.String())
+	}
+}

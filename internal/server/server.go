@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/fm"
 	"repro/internal/gen"
+	"repro/internal/hgr"
 	"repro/internal/multilevel"
 	"repro/internal/partition"
 	"repro/internal/profiling"
@@ -328,6 +329,18 @@ func (s *Server) retryAfterSec() int {
 	return sec
 }
 
+// buildErrStatus maps a buildProblem failure to its HTTP status: oversized
+// .hgr declarations (*hgr.LimitError — the streaming parser's analogue of
+// validate's errTooLarge, which fires before JSON uploads get here) are 413,
+// every other build failure is a plain 400.
+func buildErrStatus(err error) int {
+	var le *hgr.LimitError
+	if errors.As(err, &le) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
 // run executes one admitted partition request. It returns either a response,
 // or a status code and message for the error path.
 func (s *Server) run(ctx context.Context, req Request) (*Response, int, string) {
@@ -365,9 +378,9 @@ func (s *Server) run(ctx context.Context, req Request) (*Response, int, string) 
 		if req.Preset != nil {
 			key = req.cacheKey(nil)
 		} else {
-			prob, name, err = buildProblem(req)
+			prob, name, err = buildProblem(req, s.cfg)
 			if err != nil {
-				return nil, http.StatusBadRequest, err.Error()
+				return nil, buildErrStatus(err), err.Error()
 			}
 			key = req.cacheKey(prob)
 		}
@@ -375,7 +388,7 @@ func (s *Server) run(ctx context.Context, req Request) (*Response, int, string) 
 			p := prob
 			if p == nil {
 				var perr error
-				p, name, perr = buildProblem(req)
+				p, name, perr = buildProblem(req, s.cfg)
 				if perr != nil {
 					return nil, perr
 				}
@@ -387,7 +400,7 @@ func (s *Server) run(ctx context.Context, req Request) (*Response, int, string) 
 			if ctx.Err() != nil {
 				return nil, http.StatusGatewayTimeout, "run cancelled before coarsening finished: " + berr.Error()
 			}
-			return nil, http.StatusBadRequest, berr.Error()
+			return nil, buildErrStatus(berr), berr.Error()
 		}
 		cacheKind = "miss"
 		if hit {
@@ -402,9 +415,9 @@ func (s *Server) run(ctx context.Context, req Request) (*Response, int, string) 
 	default:
 		// k > 2: direct k-way multistart, uncached (hierarchies are 2-way).
 		cacheKind = "bypass"
-		prob, name, err = buildProblem(req)
+		prob, name, err = buildProblem(req, s.cfg)
 		if err != nil {
-			return nil, http.StatusBadRequest, err.Error()
+			return nil, buildErrStatus(err), err.Error()
 		}
 		rng := rand.New(rand.NewPCG(req.Seed, 0x6a9d))
 		res, err = multilevel.ParallelMultistartKWayCtx(ctx, prob, mlCfg, req.Starts, rng)
